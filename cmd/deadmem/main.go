@@ -1,0 +1,144 @@
+// Command deadmem detects dead data members in MC++ source files using the
+// algorithm of Sweeney & Tip (PLDI 1998).
+//
+// Usage:
+//
+//	deadmem [flags] file.mcc [more.mcc ...]
+//
+// Exit status is 0 on success (even when dead members are found), 1 on
+// compilation errors, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"deadmembers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("deadmem", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		callgraphMode  = fs.String("callgraph", "rta", "call graph construction: rta, cha, or all")
+		sizeofPolicy   = fs.String("sizeof", "ignore", "sizeof policy: ignore (paper setting) or conservative")
+		noDeleteRule   = fs.Bool("no-delete-rule", false, "disable the delete/free special case")
+		trustDowncasts = fs.Bool("trust-downcasts", false, "treat all downcasts as verified safe")
+		libraries      = fs.String("library", "", "comma-separated class names treated as library classes")
+		verbose        = fs.Bool("v", false, "also list live members with the reason they are live")
+		perClass       = fs.Bool("classes", false, "print a per-class breakdown (IDE-feedback view)")
+		unreachable    = fs.Bool("unreachable", false, "also list unreachable functions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: deadmem [flags] file.mcc ...")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	opts := deadmembers.Options{
+		NoDeleteSpecialCase: *noDeleteRule,
+		TrustDowncasts:      *trustDowncasts,
+	}
+	switch strings.ToLower(*callgraphMode) {
+	case "rta":
+		opts.CallGraph = deadmembers.CallGraphRTA
+	case "cha":
+		opts.CallGraph = deadmembers.CallGraphCHA
+	case "all":
+		opts.CallGraph = deadmembers.CallGraphALL
+	default:
+		fmt.Fprintf(stderr, "deadmem: unknown -callgraph %q\n", *callgraphMode)
+		return 2
+	}
+	switch strings.ToLower(*sizeofPolicy) {
+	case "ignore":
+		opts.Sizeof = deadmembers.SizeofIgnore
+	case "conservative":
+		opts.Sizeof = deadmembers.SizeofConservative
+	default:
+		fmt.Fprintf(stderr, "deadmem: unknown -sizeof %q\n", *sizeofPolicy)
+		return 2
+	}
+	if *libraries != "" {
+		opts.LibraryClasses = strings.Split(*libraries, ",")
+	}
+
+	var sources []deadmembers.Source
+	for _, path := range fs.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "deadmem: %v\n", err)
+			return 1
+		}
+		sources = append(sources, deadmembers.Source{Name: path, Text: string(text)})
+	}
+
+	res, err := deadmembers.Analyze(opts, sources...)
+	if err != nil {
+		fmt.Fprintf(stderr, "deadmem: %v\n", err)
+		return 1
+	}
+
+	dead := res.DeadMembers()
+	if len(dead) == 0 {
+		fmt.Fprintln(stdout, "no dead data members found")
+	} else {
+		fmt.Fprintf(stdout, "%d dead data member(s):\n", len(dead))
+		for _, f := range dead {
+			loc := res.Program.FileSet.Position(f.Pos)
+			fmt.Fprintf(stdout, "  %-40s declared at %s\n", f.QualifiedName(), loc)
+		}
+	}
+
+	if *verbose {
+		fmt.Fprintln(stdout, "\nlive members:")
+		for _, c := range res.Program.Classes {
+			if res.IsLibraryClass(c) || !res.Used[c] {
+				continue
+			}
+			for _, f := range c.Fields {
+				if m := res.MarkOf(f); m.Live {
+					fmt.Fprintf(stdout, "  %-40s %s\n", f.QualifiedName(), m.Reason)
+				}
+			}
+		}
+	}
+
+	if *perClass {
+		fmt.Fprintln(stdout, "\nper-class breakdown:")
+		for _, row := range res.PerClass() {
+			status := ""
+			if !row.Used {
+				status = " (unused class)"
+			}
+			if row.Library {
+				status = " (library class)"
+			}
+			fmt.Fprintf(stdout, "  %-24s %2d/%2d dead (%5.1f%%)%s\n",
+				row.Class.Name, row.Dead, row.Members, row.DeadPercent(), status)
+		}
+	}
+
+	if *unreachable {
+		fns := res.UnreachableFunctions()
+		fmt.Fprintf(stdout, "\n%d unreachable function(s):\n", len(fns))
+		for _, f := range fns {
+			fmt.Fprintf(stdout, "  %s\n", f.QualifiedName())
+		}
+	}
+
+	s := res.Stats()
+	fmt.Fprintf(stdout, "\n%d classes (%d used), %d data members in used classes, %d dead (%.1f%%)\n",
+		s.Classes, s.UsedClasses, s.Members, s.DeadMembers, s.DeadPercent())
+	return 0
+}

@@ -1,0 +1,95 @@
+// Command deadstrip applies the space optimization the paper motivates:
+// it analyzes MC++ sources, removes the guaranteed-dead data members (and
+// unreachable functions) whose removal is provably behaviour-preserving,
+// and writes the transformed program to stdout.
+//
+// Usage:
+//
+//	deadstrip [flags] file.mcc [more.mcc ...] > stripped.mcc
+//
+// Diagnostics (what was removed, what was kept and why) go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"deadmembers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("deadstrip", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		keepUnreachable = fs.Bool("keep-unreachable", false, "do not remove unreachable functions")
+		verify          = fs.Bool("verify", true, "run original and stripped programs and compare behaviour")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: deadstrip [flags] file.mcc ...")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	var sources []deadmembers.Source
+	for _, path := range fs.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "deadstrip: %v\n", err)
+			return 1
+		}
+		sources = append(sources, deadmembers.Source{Name: path, Text: string(text)})
+	}
+
+	out, err := deadmembers.Strip(deadmembers.Options{}, deadmembers.StripOptions{
+		KeepUnreachable: *keepUnreachable,
+	}, sources...)
+	if err != nil {
+		fmt.Fprintf(stderr, "deadstrip: %v\n", err)
+		return 1
+	}
+
+	for _, m := range out.RemovedMembers {
+		fmt.Fprintf(stderr, "removed member   %s\n", m)
+	}
+	for _, f := range out.RemovedFunctions {
+		fmt.Fprintf(stderr, "removed function %s\n", f)
+	}
+	for m, why := range out.KeptMembers {
+		fmt.Fprintf(stderr, "kept dead member %s: %s\n", m, why)
+	}
+
+	if *verify {
+		before, err := deadmembers.Run(sources...)
+		if err != nil {
+			fmt.Fprintf(stderr, "deadstrip: original does not run: %v\n", err)
+			return 1
+		}
+		after, err := deadmembers.Run(out.Sources...)
+		if err != nil {
+			fmt.Fprintf(stderr, "deadstrip: stripped program does not run: %v\n", err)
+			return 1
+		}
+		if before.Output != after.Output || before.ExitCode != after.ExitCode {
+			fmt.Fprintf(stderr, "deadstrip: BEHAVIOUR CHANGED — refusing to emit\n")
+			return 1
+		}
+		fmt.Fprintf(stderr, "verified: identical behaviour (exit %d)\n", after.ExitCode)
+	}
+
+	for _, s := range out.Sources {
+		if len(out.Sources) > 1 {
+			fmt.Fprintf(stdout, "// ---- %s ----\n", s.Name)
+		}
+		fmt.Fprint(stdout, s.Text)
+	}
+	return 0
+}

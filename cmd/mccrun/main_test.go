@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunsProgram(t *testing.T) {
+	path := write(t, "hello.mcc", `
+int main() { print("hello "); print(2+2*10); println(); return 3; }`)
+	var out, errOut strings.Builder
+	code := run([]string{path}, &out, &errOut)
+	if code != 3 {
+		t.Fatalf("exit = %d, want the program's return value 3 (stderr: %s)", code, errOut.String())
+	}
+	if out.String() != "hello 22\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestProfileFlag(t *testing.T) {
+	path := write(t, "p.mcc", `
+class Box { public: int keep; int waste; Box() : keep(1), waste(2) {} };
+int main() {
+	Box* b = new Box();
+	int r = b->keep;
+	delete b;
+	return r;
+}`)
+	var out, errOut strings.Builder
+	code := run([]string{"-profile", path}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	prof := errOut.String()
+	for _, want := range []string{"heap profile", "objects allocated:        1", "dead data member space:   4 bytes"} {
+		if !strings.Contains(prof, want) {
+			t.Errorf("profile missing %q:\n%s", want, prof)
+		}
+	}
+}
+
+func TestMaxStepsFlag(t *testing.T) {
+	path := write(t, "loop.mcc", `
+int main() { int s = 0; for (int i = 0; i < 100000; i++) { s++; } return 0; }`)
+	var out, errOut strings.Builder
+	if code := run([]string{"-max-steps", "50", "-profile", path}, &out, &errOut); code != 1 {
+		t.Fatalf("step-limited run should exit 1, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "step limit") {
+		t.Errorf("stderr missing step-limit error:\n%s", errOut.String())
+	}
+}
+
+func TestRuntimeErrorReported(t *testing.T) {
+	path := write(t, "crash.mcc", `
+int main() { int* p = nullptr; return *p; }`)
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("runtime error should exit 1, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "null pointer dereference") {
+		t.Errorf("stderr missing runtime error:\n%s", errOut.String())
+	}
+}
+
+func TestUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args should exit 2, got %d", code)
+	}
+}

@@ -1,0 +1,92 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation over the built-in benchmark corpus.
+//
+// Usage:
+//
+//	paperbench                 # all exhibits
+//	paperbench -table1         # just Table 1
+//	paperbench -figure3 -figure4
+//	paperbench -ablation       # the design-choice ablations
+//	paperbench -csv            # machine-readable results
+//	paperbench -dump richards  # print a corpus benchmark's MC++ source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"deadmembers/internal/bench"
+	"deadmembers/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		table1   = fs.Bool("table1", false, "benchmark characteristics (paper Table 1)")
+		figure3  = fs.Bool("figure3", false, "static dead-member percentages (paper Figure 3)")
+		table2   = fs.Bool("table2", false, "dynamic byte counts (paper Table 2)")
+		figure4  = fs.Bool("figure4", false, "dynamic percentages (paper Figure 4)")
+		summary  = fs.Bool("summary", false, "headline numbers vs the paper's abstract")
+		ablation = fs.Bool("ablation", false, "analysis-variant ablations")
+		csvOut   = fs.Bool("csv", false, "machine-readable measured results")
+		dump     = fs.String("dump", "", "print the MC++ source of the named corpus benchmark and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *dump != "" {
+		b, err := bench.ByName(*dump)
+		if err != nil {
+			fmt.Fprintf(stderr, "paperbench: %v (have: %v)\n", err, bench.Names())
+			return 2
+		}
+		for _, s := range b.Sources {
+			fmt.Fprintf(stdout, "// ---- %s ----\n%s", s.Name, s.Text)
+		}
+		return 0
+	}
+
+	all := !*table1 && !*figure3 && !*table2 && !*figure4 && !*summary && !*ablation && !*csvOut
+
+	results, err := report.CollectAll()
+	if err != nil {
+		fmt.Fprintf(stderr, "paperbench: %v\n", err)
+		return 1
+	}
+
+	if all || *table1 {
+		fmt.Fprintln(stdout, report.Table1(results))
+	}
+	if all || *figure3 {
+		fmt.Fprintln(stdout, report.Figure3(results))
+	}
+	if all || *table2 {
+		fmt.Fprintln(stdout, report.Table2(results))
+	}
+	if all || *figure4 {
+		fmt.Fprintln(stdout, report.Figure4(results))
+	}
+	if all || *summary {
+		fmt.Fprintln(stdout, report.Summary(results))
+	}
+	if *csvOut {
+		fmt.Fprint(stdout, report.CSV(results))
+	}
+	if all || *ablation {
+		rows, err := report.RunAblations()
+		if err != nil {
+			fmt.Fprintf(stderr, "paperbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, report.AblationTable(rows))
+	}
+	return 0
+}

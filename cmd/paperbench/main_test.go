@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpBenchmark(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-dump", "richards"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "class Scheduler") {
+		t.Errorf("dump missing richards content")
+	}
+}
+
+func TestDumpUnknown(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-dump", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown benchmark should exit 2, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "jikes") {
+		t.Errorf("error should list available benchmarks:\n%s", errOut.String())
+	}
+}
+
+func TestSingleExhibits(t *testing.T) {
+	// -table1 and -figure3 only need the (cached-by-nothing) pipeline; run
+	// them in one process invocation each to keep the test fast but real.
+	var out, errOut strings.Builder
+	if code := run([]string{"-table1", "-figure3", "-summary"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Table 1", "Figure 3", "Headline numbers", "12.5%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "Table 2") {
+		t.Error("-table2 output present though not requested")
+	}
+}
+
+func TestCSVFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 12 || !strings.HasPrefix(lines[0], "benchmark,") {
+		t.Errorf("unexpected CSV output (%d lines)", len(lines))
+	}
+}

@@ -1,0 +1,170 @@
+// Package deadmembers is the public API of this repository: a from-scratch
+// reproduction of Sweeney & Tip, "A Study of Dead Data Members in C++
+// Applications" (PLDI 1998).
+//
+// The library compiles MC++ (a substantial C++ subset), detects data
+// members that are guaranteed dead — removable without changing observable
+// behaviour — and measures, by executing the program on a built-in
+// interpreter with an instrumented heap, how much object space those dead
+// members occupy at run time.
+//
+// Typical use:
+//
+//	result, err := deadmembers.AnalyzeSource("app.mcc", src, deadmembers.Options{})
+//	for _, f := range result.DeadMembers() {
+//	    fmt.Println(f.QualifiedName())
+//	}
+//	profile, err := deadmembers.ProfileSource("app.mcc", src, deadmembers.Options{})
+//	fmt.Println(profile.Ledger.DeadPercent())
+//
+// The internal packages implement the full pipeline: lexer, parser, type
+// checker, class hierarchy (member lookup + object layout), call graphs
+// (ALL/CHA/RTA), the paper's detection algorithm, and the interpreter.
+package deadmembers
+
+import (
+	"deadmembers/internal/callgraph"
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/dynprof"
+	"deadmembers/internal/frontend"
+	"deadmembers/internal/interp"
+	"deadmembers/internal/strip"
+)
+
+// Source is one named MC++ source file.
+type Source = frontend.Source
+
+// CallGraphMode selects call-graph precision. The zero value is RTA, the
+// paper's configuration.
+type CallGraphMode int
+
+// Call graph modes, in decreasing order of precision.
+const (
+	CallGraphRTA CallGraphMode = iota
+	CallGraphCHA
+	CallGraphALL
+)
+
+func (m CallGraphMode) internal() callgraph.Mode {
+	switch m {
+	case CallGraphCHA:
+		return callgraph.CHA
+	case CallGraphALL:
+		return callgraph.ALL
+	default:
+		return callgraph.RTA
+	}
+}
+
+// SizeofPolicy controls how sizeof expressions are treated (paper §3.2).
+type SizeofPolicy = deadmember.SizeofPolicy
+
+// Sizeof policies. SizeofIgnore is the paper's benchmark setting.
+const (
+	SizeofIgnore       = deadmember.SizeofIgnore
+	SizeofConservative = deadmember.SizeofConservative
+)
+
+// Options configures analysis and profiling. The zero value reproduces the
+// paper's configuration: RTA call graph, sizeof ignored, delete/free
+// special case enabled, downcasts treated conservatively.
+type Options struct {
+	// CallGraph selects the call-graph algorithm (default RTA).
+	CallGraph CallGraphMode
+
+	// Sizeof selects the sizeof policy (default SizeofIgnore).
+	Sizeof SizeofPolicy
+
+	// NoDeleteSpecialCase disables the delete/free rule (ablation).
+	NoDeleteSpecialCase bool
+
+	// TrustDowncasts disables the unsafe-cast rule for downcasts that the
+	// user has verified safe (the paper verified all of its benchmarks').
+	TrustDowncasts bool
+
+	// LibraryClasses names classes whose source is nominally unavailable;
+	// their members are unclassifiable and their virtual methods'
+	// overriders become call-graph roots.
+	LibraryClasses []string
+
+	// MaxSteps bounds interpreter execution in ProfileProgram (0 = default).
+	MaxSteps int64
+}
+
+func (o Options) analysisOptions() deadmember.Options {
+	return deadmember.Options{
+		CallGraph:           o.CallGraph.internal(),
+		Sizeof:              o.Sizeof,
+		NoDeleteSpecialCase: o.NoDeleteSpecialCase,
+		TrustDowncasts:      o.TrustDowncasts,
+		LibraryClasses:      o.LibraryClasses,
+	}
+}
+
+// Result is a completed static analysis (see internal/deadmember for the
+// full accessor set).
+type Result = deadmember.Result
+
+// Profile is a completed dynamic measurement.
+type Profile = dynprof.Profile
+
+// ExecResult reports a plain (unprofiled) execution.
+type ExecResult = interp.Result
+
+// Analyze compiles the sources and runs the dead-data-member analysis.
+func Analyze(opts Options, sources ...Source) (*Result, error) {
+	r := frontend.Compile(sources...)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return deadmember.Analyze(r.Program, r.Graph, opts.analysisOptions()), nil
+}
+
+// AnalyzeSource analyzes a single source file.
+func AnalyzeSource(name, text string, opts Options) (*Result, error) {
+	return Analyze(opts, Source{Name: name, Text: text})
+}
+
+// ProfileProgram analyzes the sources and then executes the program with
+// an instrumented heap, attributing bytes to the dead members found.
+func ProfileProgram(opts Options, sources ...Source) (*Profile, error) {
+	res, err := Analyze(opts, sources...)
+	if err != nil {
+		return nil, err
+	}
+	return dynprof.Run(res, dynprof.Options{MaxSteps: opts.MaxSteps})
+}
+
+// ProfileSource profiles a single source file.
+func ProfileSource(name, text string, opts Options) (*Profile, error) {
+	return ProfileProgram(opts, Source{Name: name, Text: text})
+}
+
+// StripOptions configures the dead-member elimination transform.
+type StripOptions = strip.Options
+
+// StripResult reports what the transform removed (and what it refused to
+// remove, with reasons).
+type StripResult = strip.Result
+
+// Strip analyzes the sources and removes the dead data members (and
+// unreachable functions) whose elimination is provably behaviour
+// preserving, returning the transformed program — the space optimization
+// the paper proposes for "any optimizing compiler".
+func Strip(opts Options, stripOpts StripOptions, sources ...Source) (*StripResult, error) {
+	res, err := Analyze(opts, sources...)
+	if err != nil {
+		return nil, err
+	}
+	return strip.Apply(res, stripOpts), nil
+}
+
+// Run compiles and executes the sources without instrumentation,
+// returning the program's exit code and captured output.
+func Run(sources ...Source) (*ExecResult, error) {
+	r := frontend.Compile(sources...)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return interp.Run(r.Program, r.Graph, interp.Options{})
+}

@@ -1,0 +1,3 @@
+module deadmembers
+
+go 1.22

@@ -1,0 +1,199 @@
+package ast
+
+// Inspect traverses the subtree rooted at n in depth-first pre-order,
+// calling f for every node. If f returns false for a node, its children
+// are not visited. Nil children are skipped.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	if !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			Inspect(d, f)
+		}
+
+	case *ClassDecl:
+		for i := range x.Bases {
+			Inspect(&x.Bases[i], f)
+		}
+		for _, fd := range x.Fields {
+			Inspect(fd, f)
+		}
+		for _, m := range x.Methods {
+			Inspect(m, f)
+		}
+	case *BaseSpec:
+		// leaf
+	case *FieldDecl:
+		Inspect(x.Type, f)
+	case *MethodDecl:
+		for i := range x.Params {
+			Inspect(&x.Params[i], f)
+		}
+		if x.Return != nil {
+			Inspect(x.Return, f)
+		}
+		for i := range x.Inits {
+			Inspect(&x.Inits[i], f)
+		}
+		if x.Body != nil {
+			Inspect(x.Body, f)
+		}
+	case *FuncDecl:
+		for i := range x.Params {
+			Inspect(&x.Params[i], f)
+		}
+		if x.Return != nil {
+			Inspect(x.Return, f)
+		}
+		if x.Body != nil {
+			Inspect(x.Body, f)
+		}
+	case *VarDecl:
+		Inspect(x.Type, f)
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+		for _, a := range x.CtorArgs {
+			Inspect(a, f)
+		}
+	case *Param:
+		Inspect(x.Type, f)
+	case *CtorInit:
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+
+	case *NamedType:
+		// leaf
+	case *PointerType:
+		Inspect(x.Elem, f)
+	case *ArrayType:
+		Inspect(x.Elem, f)
+		if x.Len != nil {
+			Inspect(x.Len, f)
+		}
+	case *MemberPointerType:
+		Inspect(x.Elem, f)
+	case *QualType:
+		Inspect(x.Base, f)
+
+	case *BlockStmt:
+		for _, s := range x.Stmts {
+			Inspect(s, f)
+		}
+	case *DeclStmt:
+		Inspect(x.Var, f)
+	case *ExprStmt:
+		Inspect(x.X, f)
+	case *IfStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		if x.Else != nil {
+			Inspect(x.Else, f)
+		}
+	case *WhileStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Body, f)
+	case *DoWhileStmt:
+		Inspect(x.Body, f)
+		Inspect(x.Cond, f)
+	case *ForStmt:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+		if x.Cond != nil {
+			Inspect(x.Cond, f)
+		}
+		if x.Post != nil {
+			Inspect(x.Post, f)
+		}
+		Inspect(x.Body, f)
+	case *SwitchStmt:
+		Inspect(x.X, f)
+		for i := range x.Cases {
+			for _, v := range x.Cases[i].Values {
+				Inspect(v, f)
+			}
+			for _, s := range x.Cases[i].Body {
+				Inspect(s, f)
+			}
+		}
+	case *ReturnStmt:
+		if x.X != nil {
+			Inspect(x.X, f)
+		}
+	case *BreakStmt, *ContinueStmt:
+		// leaves
+
+	case *IntLit, *FloatLit, *CharLit, *BoolLit, *StringLit, *NullLit,
+		*Ident, *ThisExpr, *QualifiedIdent:
+		// leaves
+	case *Unary:
+		Inspect(x.X, f)
+	case *Postfix:
+		Inspect(x.X, f)
+	case *Binary:
+		Inspect(x.X, f)
+		Inspect(x.Y, f)
+	case *Assign:
+		Inspect(x.LHS, f)
+		Inspect(x.RHS, f)
+	case *Cond:
+		Inspect(x.C, f)
+		Inspect(x.Then, f)
+		Inspect(x.Else, f)
+	case *Member:
+		Inspect(x.X, f)
+	case *MemberPtrDeref:
+		Inspect(x.X, f)
+		Inspect(x.Ptr, f)
+	case *Index:
+		Inspect(x.X, f)
+		Inspect(x.I, f)
+	case *Call:
+		Inspect(x.Fun, f)
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *Cast:
+		Inspect(x.Type, f)
+		Inspect(x.X, f)
+	case *New:
+		Inspect(x.Type, f)
+		if x.Len != nil {
+			Inspect(x.Len, f)
+		}
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *Delete:
+		Inspect(x.X, f)
+	case *Sizeof:
+		if x.Type != nil {
+			Inspect(x.Type, f)
+		}
+		if x.X != nil {
+			Inspect(x.X, f)
+		}
+	case *Paren:
+		Inspect(x.X, f)
+	}
+}
+
+// isNilNode guards against typed-nil interface values from optional fields.
+func isNilNode(n Node) bool {
+	switch x := n.(type) {
+	case *File:
+		return x == nil
+	case *BlockStmt:
+		return x == nil
+	case *VarDecl:
+		return x == nil
+	}
+	return false
+}

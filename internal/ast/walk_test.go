@@ -1,0 +1,191 @@
+package ast_test
+
+import (
+	"testing"
+
+	"deadmembers/internal/ast"
+	"deadmembers/internal/parser"
+	"deadmembers/internal/source"
+)
+
+const walkProgram = `
+class Base { public: int b; virtual int f() { return b; } };
+class D : public Base {
+public:
+	int arr[4];
+	double d;
+	D(int v) : Base(), d(1.5) { arr[0] = v; }
+	virtual int f() { return arr[0] + (int)d + Base::b; }
+};
+union U { int i; char c; };
+int global = 3;
+int helper(int* p) { return *p + sizeof(D); }
+int main() {
+	D x(2);
+	D* px = &x;
+	int D::* pm = &D::b;
+	U u;
+	u.i = 1;
+	switch (x.f()) {
+	case 0: return 0;
+	default: break;
+	}
+	for (int i = 0; i < 3; i++) { continue; }
+	while (false) {}
+	do {} while (false);
+	delete (D*)nullptr;
+	return px->f() + x.*pm + helper(&global) + (true ? u.i : 0);
+}
+`
+
+func parseWalk(t *testing.T) *ast.File {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.AddFile("walk.mcc", walkProgram)
+	diags := source.NewDiagnosticList(fset)
+	file := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%v", diags)
+	}
+	return file
+}
+
+// TestInspectReachesAllNodeKinds checks the walker visits every syntactic
+// category produced by the test program.
+func TestInspectReachesAllNodeKinds(t *testing.T) {
+	file := parseWalk(t)
+	seen := map[string]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.File:
+			seen["File"] = true
+		case *ast.ClassDecl:
+			seen["ClassDecl"] = true
+		case *ast.BaseSpec:
+			seen["BaseSpec"] = true
+		case *ast.FieldDecl:
+			seen["FieldDecl"] = true
+		case *ast.MethodDecl:
+			seen["MethodDecl"] = true
+		case *ast.FuncDecl:
+			seen["FuncDecl"] = true
+		case *ast.VarDecl:
+			seen["VarDecl"] = true
+		case *ast.Param:
+			seen["Param"] = true
+		case *ast.CtorInit:
+			seen["CtorInit"] = true
+		case *ast.NamedType:
+			seen["NamedType"] = true
+		case *ast.PointerType:
+			seen["PointerType"] = true
+		case *ast.ArrayType:
+			seen["ArrayType"] = true
+		case *ast.MemberPointerType:
+			seen["MemberPointerType"] = true
+		case *ast.BlockStmt:
+			seen["BlockStmt"] = true
+		case *ast.DeclStmt:
+			seen["DeclStmt"] = true
+		case *ast.ExprStmt:
+			seen["ExprStmt"] = true
+		case *ast.ForStmt:
+			seen["ForStmt"] = true
+		case *ast.WhileStmt:
+			seen["WhileStmt"] = true
+		case *ast.DoWhileStmt:
+			seen["DoWhileStmt"] = true
+		case *ast.SwitchStmt:
+			seen["SwitchStmt"] = true
+		case *ast.ReturnStmt:
+			seen["ReturnStmt"] = true
+		case *ast.BreakStmt:
+			seen["BreakStmt"] = true
+		case *ast.ContinueStmt:
+			seen["ContinueStmt"] = true
+		case *ast.IntLit:
+			seen["IntLit"] = true
+		case *ast.FloatLit:
+			seen["FloatLit"] = true
+		case *ast.BoolLit:
+			seen["BoolLit"] = true
+		case *ast.NullLit:
+			seen["NullLit"] = true
+		case *ast.Ident:
+			seen["Ident"] = true
+		case *ast.QualifiedIdent:
+			seen["QualifiedIdent"] = true
+		case *ast.Unary:
+			seen["Unary"] = true
+		case *ast.Binary:
+			seen["Binary"] = true
+		case *ast.Assign:
+			seen["Assign"] = true
+		case *ast.Cond:
+			seen["Cond"] = true
+		case *ast.Member:
+			seen["Member"] = true
+		case *ast.MemberPtrDeref:
+			seen["MemberPtrDeref"] = true
+		case *ast.Index:
+			seen["Index"] = true
+		case *ast.Call:
+			seen["Call"] = true
+		case *ast.Cast:
+			seen["Cast"] = true
+		case *ast.New:
+			seen["New"] = false || true
+		case *ast.Delete:
+			seen["Delete"] = true
+		case *ast.Sizeof:
+			seen["Sizeof"] = true
+		}
+		return true
+	})
+	want := []string{
+		"File", "ClassDecl", "BaseSpec", "FieldDecl", "MethodDecl", "FuncDecl",
+		"VarDecl", "Param", "CtorInit", "NamedType", "PointerType", "ArrayType",
+		"MemberPointerType", "BlockStmt", "DeclStmt", "ExprStmt", "ForStmt",
+		"WhileStmt", "DoWhileStmt", "SwitchStmt", "ReturnStmt", "BreakStmt",
+		"ContinueStmt", "IntLit", "FloatLit", "BoolLit", "NullLit", "Ident",
+		"QualifiedIdent", "Unary", "Binary", "Assign", "Cond", "Member",
+		"MemberPtrDeref", "Index", "Call", "Cast", "Delete", "Sizeof",
+	}
+	for _, kind := range want {
+		if !seen[kind] {
+			t.Errorf("Inspect never reached a %s node", kind)
+		}
+	}
+}
+
+// TestInspectPruning: returning false stops descent into a subtree.
+func TestInspectPruning(t *testing.T) {
+	file := parseWalk(t)
+	full, pruned := 0, 0
+	ast.Inspect(file, func(n ast.Node) bool { full++; return true })
+	ast.Inspect(file, func(n ast.Node) bool {
+		pruned++
+		_, isClass := n.(*ast.ClassDecl)
+		return !isClass // skip class bodies
+	})
+	if pruned >= full {
+		t.Errorf("pruned walk visited %d >= full walk %d", pruned, full)
+	}
+}
+
+func TestUnparen(t *testing.T) {
+	inner := &ast.IntLit{Value: 1}
+	wrapped := &ast.Paren{X: &ast.Paren{X: inner}}
+	if ast.Unparen(wrapped) != inner {
+		t.Error("Unparen should strip nested parens")
+	}
+	if ast.Unparen(inner) != inner {
+		t.Error("Unparen of non-paren is identity")
+	}
+}
+
+func TestInspectNilSafety(t *testing.T) {
+	ast.Inspect(nil, func(ast.Node) bool { t.Fatal("callback on nil"); return true })
+	var file *ast.File
+	ast.Inspect(file, func(ast.Node) bool { t.Fatal("callback on typed nil"); return true })
+}

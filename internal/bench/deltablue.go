@@ -1,0 +1,499 @@
+package bench
+
+// deltablueSource is a hand-written MC++ port of the DeltaBlue incremental
+// dataflow constraint solver — the paper's second-smallest benchmark
+// (Table 1: 1,250 LOC, 10 classes of which 8 used, 23 data members, zero
+// dead members). As in the paper, the analysis must find no dead members.
+const deltablueSource = `
+// deltablue.mcc — incremental dataflow constraint solver.
+
+// Strengths: lower value binds stronger.
+// 0 required, 1 strongPreferred, 2 preferred, 3 strongDefault,
+// 4 normal, 5 weakDefault, 6 weakest.
+
+int failures = 0;
+
+class Constraint;
+class Variable;
+class Planner;
+
+Planner* planner = nullptr;
+
+class ConstraintList {
+public:
+	Constraint* items[160];
+	int count;
+	ConstraintList() : count(0) {}
+	void add(Constraint* c) {
+		if (count >= 160) { abort(); }
+		items[count] = c;
+		count = count + 1;
+	}
+	Constraint* removeFirst() {
+		count = count - 1;
+		Constraint* first = items[0];
+		for (int i = 0; i < count; i++) { items[i] = items[i+1]; }
+		return first;
+	}
+	void removeItem(Constraint* c) {
+		int j = 0;
+		for (int i = 0; i < count; i++) {
+			if (items[i] != c) { items[j] = items[i]; j = j + 1; }
+		}
+		count = j;
+	}
+};
+
+class VariableList {
+public:
+	Variable* items[160];
+	int count;
+	VariableList() : count(0) {}
+	void add(Variable* v) {
+		if (count >= 160) { abort(); }
+		items[count] = v;
+		count = count + 1;
+	}
+	Variable* removeFirst() {
+		count = count - 1;
+		Variable* first = items[0];
+		for (int i = 0; i < count; i++) { items[i] = items[i+1]; }
+		return first;
+	}
+};
+
+class Variable {
+public:
+	int value;
+	ConstraintList constraints;
+	Constraint* determinedBy;
+	int mark;
+	int walkStrength;
+	bool stay;
+	char* name;
+
+	Variable(char* n, int initial) {
+		value = initial;
+		determinedBy = nullptr;
+		mark = 0;
+		walkStrength = 6; // weakest
+		stay = true;
+		name = n;
+	}
+	void addConstraint(Constraint* c)    { constraints.add(c); }
+	void removeConstraint(Constraint* c) { constraints.removeItem(c); }
+};
+
+void error(char* msg, Variable* v) {
+	failures = failures + 1;
+	print("deltablue error: ");
+	print(msg);
+	if (v != nullptr) { print(" at "); print(v->name); }
+	println();
+}
+
+class Constraint {
+public:
+	int strength;
+	Constraint(int s) { strength = s; }
+
+	virtual bool isSatisfied() = 0;
+	virtual bool isInput() { return false; }
+	virtual void addToGraph() = 0;
+	virtual void removeFromGraph() = 0;
+	virtual void chooseMethod(int mark) = 0;
+	virtual void markUnsatisfied() = 0;
+	virtual void markInputs(int mark) = 0;
+	virtual bool inputsKnown(int mark) = 0;
+	virtual Variable* output() = 0;
+	virtual void execute() = 0;
+	virtual void recalculate() = 0;
+
+	void addConstraint();
+	void destroyConstraint();
+	Constraint* satisfy(int mark);
+};
+
+class Plan {
+public:
+	ConstraintList list;
+	Plan() {}
+	void addConstraint(Constraint* c) { list.add(c); }
+	void execute() {
+		for (int i = 0; i < list.count; i++) { list.items[i]->execute(); }
+	}
+};
+
+class Planner {
+public:
+	int currentMark;
+	Planner() : currentMark(0) {}
+
+	int newMark() {
+		currentMark = currentMark + 1;
+		return currentMark;
+	}
+
+	void incrementalAdd(Constraint* c) {
+		int mark = newMark();
+		Constraint* overridden = c->satisfy(mark);
+		while (overridden != nullptr) {
+			overridden = overridden->satisfy(newMark());
+		}
+	}
+
+	void addConstraintsConsumingTo(Variable* v, ConstraintList* coll) {
+		Constraint* determining = v->determinedBy;
+		for (int i = 0; i < v->constraints.count; i++) {
+			Constraint* c = v->constraints.items[i];
+			if (c != determining && c->isSatisfied()) { coll->add(c); }
+		}
+	}
+
+	bool addPropagate(Constraint* c, int mark) {
+		ConstraintList todo;
+		todo.add(c);
+		while (todo.count > 0) {
+			Constraint* d = todo.removeFirst();
+			if (d->output()->mark == mark) {
+				incrementalRemove(c);
+				return false;
+			}
+			d->recalculate();
+			addConstraintsConsumingTo(d->output(), &todo);
+		}
+		return true;
+	}
+
+	void incrementalRemove(Constraint* c) {
+		Variable* out = c->output();
+		c->markUnsatisfied();
+		c->removeFromGraph();
+		ConstraintList unsatisfied;
+		removePropagateFrom(out, &unsatisfied);
+		for (int strength = 0; strength <= 6; strength++) {
+			for (int i = 0; i < unsatisfied.count; i++) {
+				Constraint* u = unsatisfied.items[i];
+				if (u->strength == strength) { incrementalAdd(u); }
+			}
+		}
+	}
+
+	void removePropagateFrom(Variable* out, ConstraintList* unsatisfied) {
+		out->determinedBy = nullptr;
+		out->walkStrength = 6;
+		out->stay = true;
+		VariableList todo;
+		todo.add(out);
+		while (todo.count > 0) {
+			Variable* v = todo.removeFirst();
+			for (int i = 0; i < v->constraints.count; i++) {
+				Constraint* c = v->constraints.items[i];
+				if (!c->isSatisfied()) { unsatisfied->add(c); }
+			}
+			Constraint* determining = v->determinedBy;
+			for (int i = 0; i < v->constraints.count; i++) {
+				Constraint* c = v->constraints.items[i];
+				if (c != determining && c->isSatisfied()) {
+					c->recalculate();
+					todo.add(c->output());
+				}
+			}
+		}
+	}
+
+	Plan* makePlan(ConstraintList* sources) {
+		int mark = newMark();
+		Plan* plan = new Plan();
+		while (sources->count > 0) {
+			Constraint* c = sources->removeFirst();
+			if (c->output()->mark != mark && c->inputsKnown(mark)) {
+				plan->addConstraint(c);
+				c->output()->mark = mark;
+				addConstraintsConsumingTo(c->output(), sources);
+			}
+		}
+		return plan;
+	}
+
+	Plan* extractPlanFromConstraint(Constraint* c) {
+		ConstraintList sources;
+		if (c->isInput() && c->isSatisfied()) { sources.add(c); }
+		return makePlan(&sources);
+	}
+};
+
+Constraint* Constraint::satisfy(int mark) {
+	chooseMethod(mark);
+	if (!isSatisfied()) {
+		if (strength == 0) { error("could not satisfy a required constraint", nullptr); }
+		return nullptr;
+	}
+	markInputs(mark);
+	Variable* out = output();
+	Constraint* overridden = out->determinedBy;
+	if (overridden != nullptr) { overridden->markUnsatisfied(); }
+	out->determinedBy = this;
+	if (!planner->addPropagate(this, mark)) {
+		error("cycle encountered", out);
+		return nullptr;
+	}
+	out->mark = mark;
+	return overridden;
+}
+
+void Constraint::addConstraint() {
+	addToGraph();
+	planner->incrementalAdd(this);
+}
+
+void Constraint::destroyConstraint() {
+	if (isSatisfied()) {
+		planner->incrementalRemove(this);
+	} else {
+		removeFromGraph();
+	}
+}
+
+class UnaryConstraint : public Constraint {
+public:
+	Variable* myOutput;
+	bool satisfied;
+
+	UnaryConstraint(Variable* v, int s) : Constraint(s) {
+		myOutput = v;
+		satisfied = false;
+	}
+	virtual bool isSatisfied() { return satisfied; }
+	virtual void addToGraph() {
+		myOutput->addConstraint(this);
+		satisfied = false;
+	}
+	virtual void removeFromGraph() {
+		if (myOutput != nullptr) { myOutput->removeConstraint(this); }
+		satisfied = false;
+	}
+	virtual void chooseMethod(int mark) {
+		satisfied = myOutput->mark != mark && strength < myOutput->walkStrength;
+	}
+	virtual void markUnsatisfied() { satisfied = false; }
+	virtual void markInputs(int mark) {}
+	virtual bool inputsKnown(int mark) { return true; }
+	virtual Variable* output() { return myOutput; }
+	virtual void execute() {}
+	virtual void recalculate() {
+		myOutput->walkStrength = strength;
+		myOutput->stay = !isInput();
+		if (myOutput->stay) { execute(); }
+	}
+};
+
+class StayConstraint : public UnaryConstraint {
+public:
+	StayConstraint(Variable* v, int s) : UnaryConstraint(v, s) {}
+};
+
+class EditConstraint : public UnaryConstraint {
+public:
+	EditConstraint(Variable* v, int s) : UnaryConstraint(v, s) {}
+	virtual bool isInput() { return true; }
+};
+
+class BinaryConstraint : public Constraint {
+public:
+	Variable* v1;
+	Variable* v2;
+	int direction; // 0 none, 1 forward (v1->v2), 2 backward (v2->v1)
+
+	BinaryConstraint(Variable* a, Variable* b, int s) : Constraint(s) {
+		v1 = a;
+		v2 = b;
+		direction = 0;
+	}
+	virtual bool isSatisfied() { return direction != 0; }
+	virtual void addToGraph() {
+		v1->addConstraint(this);
+		v2->addConstraint(this);
+		direction = 0;
+	}
+	virtual void removeFromGraph() {
+		if (v1 != nullptr) { v1->removeConstraint(this); }
+		if (v2 != nullptr) { v2->removeConstraint(this); }
+		direction = 0;
+	}
+	virtual void chooseMethod(int mark) {
+		if (v1->mark == mark) {
+			direction = (v2->mark != mark && strength < v2->walkStrength) ? 1 : 0;
+			return;
+		}
+		if (v2->mark == mark) {
+			direction = (v1->mark != mark && strength < v1->walkStrength) ? 2 : 0;
+			return;
+		}
+		// Neither marked: the output is the variable with the weaker
+		// (numerically larger) walkabout strength.
+		if (v1->walkStrength > v2->walkStrength) {
+			direction = (strength < v1->walkStrength) ? 2 : 0;
+		} else {
+			direction = (strength < v2->walkStrength) ? 1 : 0;
+		}
+	}
+	virtual void markUnsatisfied() { direction = 0; }
+	virtual void markInputs(int mark) { input()->mark = mark; }
+	virtual bool inputsKnown(int mark) {
+		Variable* i = input();
+		return i->mark == mark || i->stay || i->determinedBy == nullptr;
+	}
+	virtual Variable* output() { return direction == 1 ? v2 : v1; }
+	Variable* input() { return direction == 1 ? v1 : v2; }
+	virtual void execute() {
+		if (direction == 1) { v2->value = v1->value; } else { v1->value = v2->value; }
+	}
+	virtual void recalculate() {
+		Variable* in = input();
+		Variable* out = output();
+		out->walkStrength = strength > in->walkStrength ? strength : in->walkStrength;
+		out->stay = in->stay;
+		if (out->stay) { execute(); }
+	}
+};
+
+class EqualityConstraint : public BinaryConstraint {
+public:
+	EqualityConstraint(Variable* a, Variable* b, int s) : BinaryConstraint(a, b, s) {}
+};
+
+class ScaleConstraint : public BinaryConstraint {
+public:
+	Variable* scale;
+	Variable* offset;
+
+	ScaleConstraint(Variable* src, Variable* sc, Variable* off, Variable* dest, int s)
+			: BinaryConstraint(src, dest, s) {
+		scale = sc;
+		offset = off;
+	}
+	virtual void addToGraph() {
+		v1->addConstraint(this);
+		v2->addConstraint(this);
+		scale->addConstraint(this);
+		offset->addConstraint(this);
+		direction = 0;
+	}
+	virtual void removeFromGraph() {
+		if (v1 != nullptr) { v1->removeConstraint(this); }
+		if (v2 != nullptr) { v2->removeConstraint(this); }
+		if (scale != nullptr) { scale->removeConstraint(this); }
+		if (offset != nullptr) { offset->removeConstraint(this); }
+		direction = 0;
+	}
+	virtual void markInputs(int mark) {
+		input()->mark = mark;
+		scale->mark = mark;
+		offset->mark = mark;
+	}
+	virtual void execute() {
+		if (direction == 1) {
+			v2->value = v1->value * scale->value + offset->value;
+		} else {
+			v1->value = (v2->value - offset->value) / scale->value;
+		}
+	}
+	virtual void recalculate() {
+		Variable* in = input();
+		Variable* out = output();
+		out->walkStrength = strength > in->walkStrength ? strength : in->walkStrength;
+		out->stay = in->stay && scale->stay && offset->stay;
+		if (out->stay) { execute(); }
+	}
+};
+
+// change repeatedly sets v to newValue through an edit constraint.
+void change(Variable* v, int newValue) {
+	EditConstraint* edit = new EditConstraint(v, 2);
+	edit->addConstraint();
+	Plan* plan = planner->extractPlanFromConstraint(edit);
+	for (int i = 0; i < 10; i++) {
+		v->value = newValue;
+		plan->execute();
+	}
+	edit->destroyConstraint();
+	delete plan;
+	delete edit;
+}
+
+// chainTest builds a chain of n equality constraints and repeatedly edits
+// the head, verifying propagation to the tail.
+void chainTest(int n) {
+	planner = new Planner();
+	Variable* prev = nullptr;
+	Variable* first = nullptr;
+	Variable* last = nullptr;
+	for (int i = 0; i <= n; i++) {
+		Variable* v = new Variable("chain", 0);
+		if (prev != nullptr) {
+			EqualityConstraint* eq = new EqualityConstraint(prev, v, 0);
+			eq->addConstraint();
+		}
+		if (i == 0) { first = v; }
+		if (i == n) { last = v; }
+		prev = v;
+	}
+	StayConstraint* stay = new StayConstraint(last, 3);
+	stay->addConstraint();
+	EditConstraint* edit = new EditConstraint(first, 2);
+	edit->addConstraint();
+	Plan* plan = planner->extractPlanFromConstraint(edit);
+	for (int i = 0; i < 100; i++) {
+		first->value = i;
+		plan->execute();
+		if (last->value != i) { error("chain test failed", last); }
+	}
+	edit->destroyConstraint();
+	delete plan;
+	delete edit;
+	delete planner;
+	planner = nullptr;
+}
+
+// projectionTest maps src variables through scale/offset constraints and
+// checks that edits project correctly.
+void projectionTest(int n) {
+	planner = new Planner();
+	Variable* scale = new Variable("scale", 10);
+	Variable* offset = new Variable("offset", 1000);
+	Variable* src = nullptr;
+	Variable* dst = nullptr;
+	VariableList dests;
+	for (int i = 0; i < n; i++) {
+		src = new Variable("src", i);
+		dst = new Variable("dst", i);
+		dests.add(dst);
+		StayConstraint* stay = new StayConstraint(src, 4);
+		stay->addConstraint();
+		ScaleConstraint* sc = new ScaleConstraint(src, scale, offset, dst, 0);
+		sc->addConstraint();
+	}
+	change(src, 17);
+	if (dst->value != 1170) { error("projection 1 failed", dst); }
+	change(scale, 5);
+	for (int i = 0; i < n - 1; i++) {
+		if (dests.items[i]->value != i * 5 + 1000) { error("projection 2 failed", dests.items[i]); }
+	}
+	change(offset, 2000);
+	for (int i = 0; i < n - 1; i++) {
+		if (dests.items[i]->value != i * 5 + 2000) { error("projection 3 failed", dests.items[i]); }
+	}
+	delete planner;
+	planner = nullptr;
+}
+
+int main() {
+	chainTest(50);
+	projectionTest(50);
+	print("deltablue failures=");
+	print(failures);
+	println();
+	return failures == 0 ? 0 : 1;
+}
+`

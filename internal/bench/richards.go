@@ -1,0 +1,313 @@
+package bench
+
+// richardsSource is a hand-written MC++ port of the classic Richards
+// operating-system-simulator benchmark — the paper's smallest program
+// (Table 1: 606 LOC, 12 classes, 28 data members, zero dead members).
+// Every data member below is read on a reachable path, so the analysis
+// must find no dead members, matching the paper.
+const richardsSource = `
+// richards.mcc — operating system simulator (Richards benchmark).
+
+class Packet {
+public:
+	Packet* link;
+	int     id;
+	int     kind;
+	int     a1;
+	int     a2[4];
+	Packet(Packet* l, int i, int k) {
+		link = l;
+		id = i;
+		kind = k;
+		a1 = 0;
+		for (int j = 0; j < 4; j++) { a2[j] = 0; }
+	}
+};
+
+// appendTo appends pkt to list and returns the new head.
+Packet* appendTo(Packet* pkt, Packet* list) {
+	pkt->link = nullptr;
+	if (list == nullptr) { return pkt; }
+	Packet* p = list;
+	while (p->link != nullptr) { p = p->link; }
+	p->link = pkt;
+	return list;
+}
+
+class DeviceTaskRec {
+public:
+	Packet* pending;
+	DeviceTaskRec() { pending = nullptr; }
+};
+
+class IdleTaskRec {
+public:
+	int control;
+	int count;
+	IdleTaskRec() { control = 1; count = 1000; }
+};
+
+class HandlerTaskRec {
+public:
+	Packet* workIn;
+	Packet* deviceIn;
+	HandlerTaskRec() { workIn = nullptr; deviceIn = nullptr; }
+	void workInAdd(Packet* p)   { workIn = appendTo(p, workIn); }
+	void deviceInAdd(Packet* p) { deviceIn = appendTo(p, deviceIn); }
+};
+
+class WorkerTaskRec {
+public:
+	int destination;
+	int count;
+	WorkerTaskRec() { destination = 2; count = 0; }
+};
+
+class TaskControlBlock;
+class Scheduler;
+
+class Task {
+public:
+	Scheduler* sched;
+	Task(Scheduler* s) { sched = s; }
+	virtual TaskControlBlock* run(Packet* pkt) = 0;
+};
+
+class TaskControlBlock {
+public:
+	TaskControlBlock* link;
+	int     id;
+	int     pri;
+	Packet* queue;
+	int     state; // bit 0: packet pending, bit 1: task waiting, bit 2: task holding
+	Task*   task;
+
+	TaskControlBlock(TaskControlBlock* l, int i, int p, Packet* q, int initialState, Task* t) {
+		link = l;
+		id = i;
+		pri = p;
+		queue = q;
+		state = initialState;
+		task = t;
+	}
+
+	bool isHeldOrSuspended() { return (state & 4) != 0 || state == 2; }
+	void markAsNotHeld()     { state = state & 3; }
+	void markAsHeld()        { state = state | 4; }
+	void markAsSuspended()   { state = state | 2; }
+	void markAsRunnable()    { state = state | 1; }
+
+	TaskControlBlock* checkPriorityAdd(TaskControlBlock* t, Packet* pkt) {
+		if (queue == nullptr) {
+			queue = pkt;
+			markAsRunnable();
+			if (pri > t->pri) { return this; }
+		} else {
+			queue = appendTo(pkt, queue);
+		}
+		return t;
+	}
+
+	TaskControlBlock* runTask() {
+		Packet* msg;
+		if ((state & 3) == 3) { // suspended with packet pending
+			msg = queue;
+			queue = queue->link;
+			if (queue == nullptr) { state = 0; } else { state = 1; }
+		} else {
+			msg = nullptr;
+		}
+		return task->run(msg);
+	}
+
+	void addPacket(Packet* p) {
+		if (queue == nullptr) {
+			queue = p;
+			state = state | 1;
+		} else {
+			queue = appendTo(p, queue);
+		}
+	}
+};
+
+class Scheduler {
+public:
+	TaskControlBlock* table[6];
+	TaskControlBlock* list;
+	TaskControlBlock* current;
+	int currentId;
+	int queueCount;
+	int holdCount;
+
+	Scheduler() {
+		for (int i = 0; i < 6; i++) { table[i] = nullptr; }
+		list = nullptr;
+		current = nullptr;
+		currentId = 0;
+		queueCount = 0;
+		holdCount = 0;
+	}
+
+	void addTask(int id, int pri, Packet* queue, int initialState, Task* t) {
+		TaskControlBlock* tcb = new TaskControlBlock(list, id, pri, queue, initialState, t);
+		list = tcb;
+		table[id] = tcb;
+	}
+
+	void schedule() {
+		current = list;
+		while (current != nullptr) {
+			if (current->isHeldOrSuspended()) {
+				current = current->link;
+			} else {
+				currentId = current->id;
+				current = current->runTask();
+			}
+		}
+	}
+
+	TaskControlBlock* findTcb(int id) { return table[id]; }
+
+	TaskControlBlock* queuePacket(Packet* pkt) {
+		TaskControlBlock* t = findTcb(pkt->id);
+		if (t == nullptr) { return nullptr; }
+		queueCount = queueCount + 1;
+		pkt->link = nullptr;
+		pkt->id = currentId;
+		return t->checkPriorityAdd(current, pkt);
+	}
+
+	TaskControlBlock* holdSelf() {
+		holdCount = holdCount + 1;
+		current->markAsHeld();
+		return current->link;
+	}
+
+	TaskControlBlock* release(int id) {
+		TaskControlBlock* t = findTcb(id);
+		if (t == nullptr) { return nullptr; }
+		t->markAsNotHeld();
+		if (t->pri > current->pri) { return t; }
+		return current;
+	}
+
+	TaskControlBlock* waitCurrent() {
+		current->markAsSuspended();
+		return current;
+	}
+};
+
+class IdleTask : public Task {
+public:
+	IdleTaskRec* rec;
+	IdleTask(Scheduler* s, IdleTaskRec* r) : Task(s) { rec = r; }
+	virtual TaskControlBlock* run(Packet* pkt) {
+		rec->count = rec->count - 1;
+		if (rec->count == 0) { return sched->holdSelf(); }
+		if ((rec->control & 1) == 0) {
+			rec->control = rec->control / 2;
+			return sched->release(0); // device A
+		}
+		rec->control = (rec->control / 2) ^ 53256;
+		return sched->release(1); // device B
+	}
+};
+
+class WorkerTask : public Task {
+public:
+	WorkerTaskRec* rec;
+	WorkerTask(Scheduler* s, WorkerTaskRec* r) : Task(s) { rec = r; }
+	virtual TaskControlBlock* run(Packet* pkt) {
+		if (pkt == nullptr) { return sched->waitCurrent(); }
+		rec->destination = 2 + 3 - rec->destination; // toggle handler A/B
+		pkt->id = rec->destination;
+		pkt->a1 = 0;
+		for (int i = 0; i < 4; i++) {
+			rec->count = rec->count + 1;
+			if (rec->count > 26) { rec->count = 1; }
+			pkt->a2[i] = 64 + rec->count;
+		}
+		return sched->queuePacket(pkt);
+	}
+};
+
+class HandlerTask : public Task {
+public:
+	HandlerTaskRec* rec;
+	HandlerTask(Scheduler* s, HandlerTaskRec* r) : Task(s) { rec = r; }
+	virtual TaskControlBlock* run(Packet* pkt) {
+		if (pkt != nullptr) {
+			if (pkt->kind == 1) { rec->workInAdd(pkt); } else { rec->deviceInAdd(pkt); }
+		}
+		if (rec->workIn != nullptr) {
+			Packet* work = rec->workIn;
+			int count = work->a1;
+			if (count >= 4) {
+				rec->workIn = work->link;
+				return sched->queuePacket(work);
+			}
+			if (rec->deviceIn != nullptr) {
+				Packet* dev = rec->deviceIn;
+				rec->deviceIn = dev->link;
+				dev->a1 = work->a2[count];
+				work->a1 = count + 1;
+				return sched->queuePacket(dev);
+			}
+		}
+		return sched->waitCurrent();
+	}
+};
+
+class DeviceTask : public Task {
+public:
+	DeviceTaskRec* rec;
+	DeviceTask(Scheduler* s, DeviceTaskRec* r) : Task(s) { rec = r; }
+	virtual TaskControlBlock* run(Packet* pkt) {
+		if (pkt == nullptr) {
+			if (rec->pending == nullptr) { return sched->waitCurrent(); }
+			Packet* v = rec->pending;
+			rec->pending = nullptr;
+			return sched->queuePacket(v);
+		}
+		rec->pending = pkt;
+		return sched->holdSelf();
+	}
+};
+
+int main() {
+	// Task ids: 0/1 devices, 2/3 handlers, 4 worker, 5 idle.
+	// Packet kinds: 0 device, 1 work.
+	// Initial states: 0 running, 2 waiting, 3 waiting-with-packet.
+	Scheduler sched;
+
+	sched.addTask(5, 0, nullptr, 0, new IdleTask(&sched, new IdleTaskRec()));
+
+	Packet* wq = new Packet(nullptr, 4, 1);
+	wq = new Packet(wq, 4, 1);
+	sched.addTask(4, 1000, wq, 3, new WorkerTask(&sched, new WorkerTaskRec()));
+
+	wq = new Packet(nullptr, 0, 0);
+	wq = new Packet(wq, 0, 0);
+	wq = new Packet(wq, 0, 0);
+	sched.addTask(2, 2000, wq, 3, new HandlerTask(&sched, new HandlerTaskRec()));
+
+	wq = new Packet(nullptr, 1, 0);
+	wq = new Packet(wq, 1, 0);
+	wq = new Packet(wq, 1, 0);
+	sched.addTask(3, 3000, wq, 3, new HandlerTask(&sched, new HandlerTaskRec()));
+
+	sched.addTask(0, 4000, nullptr, 2, new DeviceTask(&sched, new DeviceTaskRec()));
+	sched.addTask(1, 5000, nullptr, 2, new DeviceTask(&sched, new DeviceTaskRec()));
+
+	sched.schedule();
+
+	print("queue=");
+	print(sched.queueCount);
+	print(" hold=");
+	print(sched.holdCount);
+	println();
+
+	if (sched.queueCount == 2322 && sched.holdCount == 928) { return 0; }
+	return 1;
+}
+`

@@ -1,0 +1,84 @@
+package deadmember
+
+import (
+	"sort"
+
+	"deadmembers/internal/types"
+)
+
+// This file provides the reporting accessors motivated by the paper's
+// introduction: "detection of dead data members may also be useful in an
+// integrated development environment, by providing feedback to the
+// programmer".
+
+// ClassBreakdown summarizes one class's members for programmer feedback.
+type ClassBreakdown struct {
+	Class   *types.Class
+	Used    bool
+	Library bool
+	Members int
+	Dead    int
+	// DeadFields lists the class's dead members sorted by name.
+	DeadFields []*types.Field
+}
+
+// DeadPercent returns the class-local dead percentage.
+func (c ClassBreakdown) DeadPercent() float64 {
+	if c.Members == 0 {
+		return 0
+	}
+	return 100 * float64(c.Dead) / float64(c.Members)
+}
+
+// PerClass returns a breakdown for every class of the program, sorted by
+// descending dead count and then by name — the order a programmer would
+// want to triage in.
+func (r *Result) PerClass() []ClassBreakdown {
+	var out []ClassBreakdown
+	for _, c := range r.Program.Classes {
+		cb := ClassBreakdown{
+			Class:   c,
+			Used:    r.Used[c],
+			Library: r.library[c],
+			Members: len(c.Fields),
+		}
+		for _, f := range c.Fields {
+			if r.IsDead(f) {
+				cb.Dead++
+				cb.DeadFields = append(cb.DeadFields, f)
+			}
+		}
+		sort.Slice(cb.DeadFields, func(i, j int) bool {
+			return cb.DeadFields[i].Name < cb.DeadFields[j].Name
+		})
+		out = append(out, cb)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dead != out[j].Dead {
+			return out[i].Dead > out[j].Dead
+		}
+		return out[i].Class.Name < out[j].Class.Name
+	})
+	return out
+}
+
+// UnreachableFunctions returns the functions with bodies that the call
+// graph proves unreachable from main (and the extra roots), sorted by
+// qualified name. These are the "unreachable procedures" of Srivastava's
+// related work (paper §5) and the removal candidates of the strip
+// transform.
+func (r *Result) UnreachableFunctions() []*types.Func {
+	var out []*types.Func
+	for _, f := range r.Program.AllFuncs() {
+		if f.Body == nil || f.Builtin {
+			continue
+		}
+		if !r.CallGraph.Reachable[f] {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].QualifiedName() < out[j].QualifiedName()
+	})
+	return out
+}

@@ -1,0 +1,106 @@
+package deadmember_test
+
+import (
+	"testing"
+
+	"deadmembers/internal/callgraph"
+	"deadmembers/internal/deadmember"
+)
+
+func TestPerClassBreakdown(t *testing.T) {
+	src := `
+class Heavy {
+public:
+	int d1;
+	int d2;
+	int live;
+	Heavy() : d1(1), d2(2), live(3) {}
+};
+class Clean {
+public:
+	int a;
+	Clean() : a(0) {}
+};
+class Unused { public: int z; };
+int main() {
+	Heavy h;
+	Clean c;
+	return h.live + c.a;
+}
+`
+	res := analyze(t, src, deadmember.Options{CallGraph: callgraph.RTA})
+	rows := res.PerClass()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// Heavy sorts first (most dead members).
+	if rows[0].Class.Name != "Heavy" || rows[0].Dead != 2 || rows[0].Members != 3 {
+		t.Fatalf("first row = %+v", rows[0])
+	}
+	if got := rows[0].DeadPercent(); got < 66 || got > 67 {
+		t.Fatalf("Heavy dead%% = %v", got)
+	}
+	if len(rows[0].DeadFields) != 2 || rows[0].DeadFields[0].Name != "d1" {
+		t.Fatalf("dead fields = %v", rows[0].DeadFields)
+	}
+	for _, row := range rows {
+		if row.Class.Name == "Unused" && row.Used {
+			t.Error("Unused should not be marked used")
+		}
+		if row.Class.Name == "Clean" && row.Dead != 0 {
+			t.Error("Clean has no dead members")
+		}
+	}
+}
+
+func TestUnreachableFunctions(t *testing.T) {
+	src := `
+class C {
+public:
+	int v;
+	C() : v(1) {}
+	int used() { return v; }
+	int neverCalled() { return v * 2; }
+};
+int deadFreeFn() { return 9; }
+int main() {
+	C c;
+	return c.used();
+}
+`
+	res := analyze(t, src, deadmember.Options{CallGraph: callgraph.RTA})
+	var names []string
+	for _, f := range res.UnreachableFunctions() {
+		names = append(names, f.QualifiedName())
+	}
+	want := []string{"C::neverCalled", "deadFreeFn"}
+	if len(names) != len(want) {
+		t.Fatalf("unreachable = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("unreachable = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestAnalysisIsDeterministic(t *testing.T) {
+	// Two independent runs over the same program produce identical dead
+	// sets and stats (map iteration must not leak into results).
+	for i := 0; i < 3; i++ {
+		a := analyze(t, figure1, deadmember.Options{CallGraph: callgraph.RTA})
+		b := analyze(t, figure1, deadmember.Options{CallGraph: callgraph.RTA})
+		da, db := deadNames(a), deadNames(b)
+		if len(da) != len(db) {
+			t.Fatal("nondeterministic dead set size")
+		}
+		for j := range da {
+			if da[j] != db[j] {
+				t.Fatalf("nondeterministic dead sets: %v vs %v", da, db)
+			}
+		}
+		if a.Stats() != b.Stats() {
+			t.Fatal("nondeterministic stats")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package deadmember_test
+
+import (
+	"testing"
+
+	"deadmembers/internal/callgraph"
+	"deadmembers/internal/deadmember"
+)
+
+// Statement-form coverage: member accesses inside every control-flow
+// construct must be classified.
+
+func TestReadsInsideAllStatementForms(t *testing.T) {
+	src := `
+class S {
+public:
+	int inIf;
+	int inWhile;
+	int inDoWhile;
+	int inForCond;
+	int inForPost;
+	int inSwitchExpr;
+	int inCaseValueUser;
+	int inCaseBody;
+	int inReturn;
+	int neverRead;
+	S() : inIf(1), inWhile(2), inDoWhile(3), inForCond(4), inForPost(5),
+		inSwitchExpr(6), inCaseValueUser(7), inCaseBody(8), inReturn(9),
+		neverRead(10) {}
+};
+int main() {
+	S s;
+	int acc = 0;
+	if (s.inIf > 0) { acc = acc + 1; }
+	while (s.inWhile > acc) { acc = acc + 1; }
+	do { acc = acc + 1; } while (s.inDoWhile > acc);
+	for (int i = 0; i < s.inForCond; i = i + s.inForPost) { acc = acc + 1; }
+	switch (s.inSwitchExpr) {
+	case 6: acc = acc + s.inCaseBody;
+	default: acc = acc + 1;
+	}
+	int limit = s.inCaseValueUser;
+	switch (acc > limit ? 1 : 0) {
+	case 0:
+	case 1: acc = acc + 1;
+	}
+	s.neverRead = acc; // write only
+	return acc + s.inReturn;
+}
+`
+	res := analyze(t, src, deadmember.Options{CallGraph: callgraph.RTA})
+	expectDead(t, res, "S::neverRead")
+}
+
+func TestDeleteReceiverChains(t *testing.T) {
+	// delete of a member reached through a pointer chain: the chain
+	// prefix is read, the deleted member itself is not.
+	src := `
+class Leaf { public: int* buf; Leaf() { buf = (int*)malloc(4); } };
+class Mid {
+public:
+	Leaf* leaf;
+	Mid() { leaf = new Leaf(); }
+	~Mid() {
+		delete mid_release();
+	}
+	int* mid_release() { return nullptr; }
+};
+int main() {
+	Mid* m = new Mid();
+	delete m->leaf->buf;  // buf dead; leaf and m are read to reach it
+	m->leaf->buf = nullptr;
+	delete m->leaf;
+	m->leaf = nullptr;
+	delete m;
+	return 0;
+}
+`
+	res := analyze(t, src, deadmember.Options{CallGraph: callgraph.RTA})
+	leaf := res.Program.ClassByName["Leaf"]
+	mid := res.Program.ClassByName["Mid"]
+	if !res.IsDead(leaf.FieldByName("buf")) {
+		t.Error("Leaf::buf is only deleted/written: dead")
+	}
+	if res.IsDead(mid.FieldByName("leaf")) {
+		t.Error("Mid::leaf is read (to reach buf): live")
+	}
+}
+
+func TestDeleteThroughCast(t *testing.T) {
+	src := `
+class H {
+public:
+	void* raw;
+	H() { raw = malloc(8); }
+	~H() { delete (int*)raw; }
+};
+int main() {
+	H h;
+	return 0;
+}
+`
+	res := analyze(t, src, deadmember.Options{CallGraph: callgraph.RTA})
+	h := res.Program.ClassByName["H"]
+	if !res.IsDead(h.FieldByName("raw")) {
+		t.Error("H::raw flows only into delete (through a cast): dead")
+	}
+}
+
+func TestReasonAndPolicyStrings(t *testing.T) {
+	reasons := map[deadmember.Reason]string{
+		deadmember.ReasonRead:            "read",
+		deadmember.ReasonAddressTaken:    "address taken",
+		deadmember.ReasonPointerToMember: "pointer-to-member",
+		deadmember.ReasonUnsafeCast:      "unsafe cast",
+		deadmember.ReasonVolatileWrite:   "volatile write",
+		deadmember.ReasonUnionClosure:    "union closure",
+		deadmember.ReasonLibrary:         "library class",
+		deadmember.ReasonSizeof:          "sizeof",
+		deadmember.ReasonNone:            "dead",
+	}
+	for r, want := range reasons {
+		if r.String() != want {
+			t.Errorf("Reason(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+	if deadmember.SizeofIgnore.String() != "ignore" || deadmember.SizeofConservative.String() != "conservative" {
+		t.Error("SizeofPolicy names wrong")
+	}
+}
+
+func TestUnionWithClassMemberClosure(t *testing.T) {
+	// Paper footnote: a union may contain class-typed members whose
+	// classes contain members — the closure must reach them all.
+	src := `
+class Payload { public: int a; int b; };
+union U {
+	int raw;
+	Payload p;
+};
+int main() {
+	U u;
+	return u.raw; // raw read -> closure marks Payload::a and Payload::b
+}
+`
+	res := analyze(t, src, deadmember.Options{CallGraph: callgraph.RTA})
+	expectDead(t, res)
+	pl := res.Program.ClassByName["Payload"]
+	for _, name := range []string{"a", "b"} {
+		if m := res.MarkOf(pl.FieldByName(name)); !m.Live || m.Reason != deadmember.ReasonUnionClosure {
+			t.Errorf("Payload::%s should be live via union closure, got %+v", name, m)
+		}
+	}
+}
+
+func TestAddressOfWholeClassMember(t *testing.T) {
+	src := `
+class Inner { public: int v; };
+class Outer { public: Inner in; int other; };
+int use(Inner* p) { return p->v; }
+int main() {
+	Outer o;
+	return use(&o.in); // &o.in: Inner member's address taken
+}
+`
+	res := analyze(t, src, deadmember.Options{CallGraph: callgraph.RTA})
+	expectDead(t, res, "Outer::other")
+	outer := res.Program.ClassByName["Outer"]
+	if m := res.MarkOf(outer.FieldByName("in")); m.Reason != deadmember.ReasonAddressTaken {
+		t.Errorf("Outer::in should be address-taken, got %v", m.Reason)
+	}
+}

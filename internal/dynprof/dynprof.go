@@ -1,0 +1,48 @@
+// Package dynprof combines the static dead-data-member analysis with an
+// instrumented execution to produce the paper's dynamic measurements
+// (Table 2 and Figure 4): object space, dead-data-member space, and the
+// high water mark with and without dead members.
+package dynprof
+
+import (
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/heapsim"
+	"deadmembers/internal/interp"
+	"deadmembers/internal/types"
+)
+
+// Profile is the result of one instrumented run.
+type Profile struct {
+	// Analysis is the static analysis whose dead set was measured.
+	Analysis *deadmember.Result
+
+	// Ledger holds the byte accounting (Table 2's four columns).
+	Ledger *heapsim.Ledger
+
+	// Exec reports the execution itself.
+	Exec *interp.Result
+}
+
+// Options configures the run.
+type Options struct {
+	// MaxSteps bounds execution (see interp.Options).
+	MaxSteps int64
+}
+
+// Run executes the analyzed program with dead-member instrumentation.
+// The dead set used for byte attribution is exactly analysis.IsDead —
+// guaranteed-dead members in used, non-library classes.
+func Run(analysis *deadmember.Result, opts Options) (*Profile, error) {
+	led := heapsim.New()
+	exec, err := interp.Run(analysis.Program, analysis.Hierarchy, interp.Options{
+		Ledger: led,
+		DeadField: func(f *types.Field) bool {
+			return analysis.IsDead(f)
+		},
+		MaxSteps: opts.MaxSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{Analysis: analysis, Ledger: led, Exec: exec}, nil
+}

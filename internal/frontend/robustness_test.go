@@ -1,0 +1,64 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestFrontendNeverPanics drives the whole frontend (lexer, parser, sema)
+// with structured garbage: random token soup assembled from MC++
+// vocabulary. The frontend must terminate and either produce a program or
+// diagnostics — never panic or hang.
+func TestFrontendNeverPanics(t *testing.T) {
+	vocab := []string{
+		"class", "struct", "union", "public", ":", ";", "{", "}", "(", ")",
+		"[", "]", "int", "double", "char", "bool", "void", "virtual",
+		"volatile", "const", "*", "&", "->", ".", "::", "->*", ".*", "=",
+		"+", "-", "/", "%", "new", "delete", "sizeof", "this", "nullptr",
+		"if", "else", "while", "for", "switch", "case", "default", "return",
+		"break", "continue", "do", "x", "y", "C", "f", "main", "0", "1",
+		"42", "1.5", "'c'", `"s"`, ",", "?", "~", "!",
+	}
+	check := func(picks []uint16) bool {
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(vocab[int(p)%len(vocab)])
+			b.WriteByte(' ')
+		}
+		r := Compile(Source{Name: "garbage.mcc", Text: b.String()})
+		return r != nil && r.Program != nil
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrontendNeverPanicsOnBytes feeds raw random bytes.
+func TestFrontendNeverPanicsOnBytes(t *testing.T) {
+	check := func(data []byte) bool {
+		r := Compile(Source{Name: "bytes.mcc", Text: string(data)})
+		return r != nil && r.Diags != nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTruncatedPrograms checks that every prefix of a valid program is
+// handled gracefully (the classic incremental-editing scenario for the
+// IDE use case the paper mentions).
+func TestTruncatedPrograms(t *testing.T) {
+	full := `
+class A { public: int x; virtual int f() { return x; } };
+class B : public A { public: int y; B() : y(1) {} virtual int f() { return y; } };
+int main() { B b; A* p = &b; return p->f(); }
+`
+	for i := 0; i <= len(full); i += 7 {
+		r := Compile(Source{Name: "part.mcc", Text: full[:i]})
+		if r == nil || r.Program == nil {
+			t.Fatalf("prefix of length %d: frontend returned nil", i)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package heapsim provides the instrumented object-allocation ledger used
+// for the paper's dynamic measurements (Table 2): total object space, the
+// space occupied by dead data members inside objects, and the live-byte
+// high water mark — both for actual object sizes and for the adjusted
+// sizes objects would have if dead members were eliminated.
+//
+// The two high water marks are tracked independently because, as the paper
+// notes, they may occur at different execution points.
+package heapsim
+
+import (
+	"fmt"
+	"sort"
+
+	"deadmembers/internal/types"
+)
+
+// ClassStat accumulates per-class allocation statistics.
+type ClassStat struct {
+	Class *types.Class
+	Count int64 // objects allocated
+	Bytes int64 // total bytes allocated (Count * object size)
+	Dead  int64 // total bytes occupied by dead members
+}
+
+// Ledger tracks every class-object allocation and deallocation.
+type Ledger struct {
+	// TotalBytes is the space occupied by objects created during
+	// execution (paper Table 2, "Object Space").
+	TotalBytes int64
+
+	// DeadBytes is the space within those objects occupied by dead data
+	// members (paper Table 2, "Dead Data Member Space").
+	DeadBytes int64
+
+	// TotalObjects counts allocations.
+	TotalObjects int64
+
+	// LiveBytes / AdjustedLiveBytes are the bytes currently allocated,
+	// under actual and dead-member-free sizes respectively.
+	LiveBytes         int64
+	AdjustedLiveBytes int64
+
+	// HighWater is the maximum of LiveBytes over time (paper Table 2,
+	// "High Water Mark"); AdjustedHighWater is the maximum of
+	// AdjustedLiveBytes ("High Water Mark w/o dead data members").
+	HighWater         int64
+	AdjustedHighWater int64
+
+	byClass map[*types.Class]*ClassStat
+}
+
+// New returns an empty ledger.
+func New() *Ledger {
+	return &Ledger{byClass: map[*types.Class]*ClassStat{}}
+}
+
+// Alloc records the creation of one object of class c with the given
+// actual size, deadBytes of dead-member content, and adjusted
+// (dead-members-removed) size.
+func (l *Ledger) Alloc(c *types.Class, size, deadBytes, adjSize int) {
+	l.TotalBytes += int64(size)
+	l.DeadBytes += int64(deadBytes)
+	l.TotalObjects++
+	l.LiveBytes += int64(size)
+	l.AdjustedLiveBytes += int64(adjSize)
+	if l.LiveBytes > l.HighWater {
+		l.HighWater = l.LiveBytes
+	}
+	if l.AdjustedLiveBytes > l.AdjustedHighWater {
+		l.AdjustedHighWater = l.AdjustedLiveBytes
+	}
+	st := l.byClass[c]
+	if st == nil {
+		st = &ClassStat{Class: c}
+		l.byClass[c] = st
+	}
+	st.Count++
+	st.Bytes += int64(size)
+	st.Dead += int64(deadBytes)
+}
+
+// Free records the destruction of one object previously passed to Alloc
+// with the same sizes.
+func (l *Ledger) Free(c *types.Class, size, deadBytes, adjSize int) {
+	l.LiveBytes -= int64(size)
+	l.AdjustedLiveBytes -= int64(adjSize)
+	if l.LiveBytes < 0 || l.AdjustedLiveBytes < 0 {
+		panic(fmt.Sprintf("heapsim: negative live bytes (size=%d adj=%d)", size, adjSize))
+	}
+}
+
+// ByClass returns per-class statistics sorted by class name.
+func (l *Ledger) ByClass() []*ClassStat {
+	out := make([]*ClassStat, 0, len(l.byClass))
+	for _, st := range l.byClass {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class.Name < out[j].Class.Name })
+	return out
+}
+
+// DeadPercent returns 100 * DeadBytes / TotalBytes (0 if nothing allocated).
+func (l *Ledger) DeadPercent() float64 {
+	if l.TotalBytes == 0 {
+		return 0
+	}
+	return 100 * float64(l.DeadBytes) / float64(l.TotalBytes)
+}
+
+// HighWaterReductionPercent returns the percentage by which the high water
+// mark shrinks when dead members are eliminated.
+func (l *Ledger) HighWaterReductionPercent() float64 {
+	if l.HighWater == 0 {
+		return 0
+	}
+	return 100 * float64(l.HighWater-l.AdjustedHighWater) / float64(l.HighWater)
+}

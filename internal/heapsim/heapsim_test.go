@@ -1,0 +1,129 @@
+package heapsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deadmembers/internal/types"
+)
+
+func cls(name string) *types.Class {
+	return &types.Class{Name: name, Complete: true}
+}
+
+func TestBasicAccounting(t *testing.T) {
+	l := New()
+	a := cls("A")
+	l.Alloc(a, 16, 4, 12)
+	l.Alloc(a, 16, 4, 12)
+	if l.TotalBytes != 32 || l.DeadBytes != 8 || l.TotalObjects != 2 {
+		t.Fatalf("totals wrong: %+v", l)
+	}
+	if l.LiveBytes != 32 || l.HighWater != 32 {
+		t.Fatalf("live/hwm wrong: %+v", l)
+	}
+	l.Free(a, 16, 4, 12)
+	if l.LiveBytes != 16 || l.HighWater != 32 {
+		t.Fatalf("free accounting wrong: %+v", l)
+	}
+	l.Alloc(a, 16, 4, 12)
+	if l.HighWater != 32 {
+		t.Fatalf("hwm should stay 32 after refill, got %d", l.HighWater)
+	}
+}
+
+func TestAdjustedHighWaterIndependent(t *testing.T) {
+	// The two high-water marks may peak at different times (paper §4.3):
+	// a dead-heavy object inflates the actual HWM while the adjusted one
+	// peaks later with clean objects.
+	l := New()
+	heavy := cls("Heavy") // 100 bytes, 60 dead
+	clean := cls("Clean") // 50 bytes, 0 dead
+	l.Alloc(heavy, 100, 60, 40)
+	l.Free(heavy, 100, 60, 40)
+	l.Alloc(clean, 50, 0, 50)
+	l.Alloc(clean, 50, 0, 50) // actual live 100 == previous peak; adjusted 100 > 40
+	if l.HighWater != 100 {
+		t.Fatalf("hwm = %d, want 100", l.HighWater)
+	}
+	if l.AdjustedHighWater != 100 {
+		t.Fatalf("adjusted hwm = %d, want 100 (peaks later than actual)", l.AdjustedHighWater)
+	}
+	if l.DeadPercent() != 100*60.0/200.0 {
+		t.Fatalf("dead%% = %f", l.DeadPercent())
+	}
+}
+
+func TestByClass(t *testing.T) {
+	l := New()
+	a, b := cls("A"), cls("B")
+	l.Alloc(b, 8, 0, 8)
+	l.Alloc(a, 4, 4, 0)
+	l.Alloc(a, 4, 4, 0)
+	stats := l.ByClass()
+	if len(stats) != 2 || stats[0].Class != a || stats[1].Class != b {
+		t.Fatalf("ByClass order wrong: %v", stats)
+	}
+	if stats[0].Count != 2 || stats[0].Bytes != 8 || stats[0].Dead != 8 {
+		t.Fatalf("A stats wrong: %+v", stats[0])
+	}
+}
+
+func TestPercentagesOnEmptyLedger(t *testing.T) {
+	l := New()
+	if l.DeadPercent() != 0 || l.HighWaterReductionPercent() != 0 {
+		t.Error("empty ledger percentages must be 0")
+	}
+}
+
+func TestNegativeLiveBytesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("freeing more than allocated must panic (ledger invariant)")
+		}
+	}()
+	l := New()
+	l.Free(cls("A"), 8, 0, 8)
+}
+
+// TestLedgerInvariants: for any interleaving of balanced alloc/free
+// operations, live bytes never go negative, the high water mark bounds
+// live bytes, and the adjusted figures never exceed the actual ones when
+// adjusted sizes are smaller.
+func TestLedgerInvariants(t *testing.T) {
+	c := cls("X")
+	check := func(ops []uint8) bool {
+		l := New()
+		type rec struct{ size, dead, adj int }
+		var live []rec
+		for _, op := range ops {
+			size := 8 + int(op%5)*4
+			dead := int(op % 3 * 4)
+			if dead > size {
+				dead = size
+			}
+			adj := size - dead
+			if op%2 == 0 || len(live) == 0 {
+				l.Alloc(c, size, dead, adj)
+				live = append(live, rec{size, dead, adj})
+			} else {
+				r := live[len(live)-1]
+				live = live[:len(live)-1]
+				l.Free(c, r.size, r.dead, r.adj)
+			}
+			if l.LiveBytes < 0 || l.AdjustedLiveBytes < 0 {
+				return false
+			}
+			if l.HighWater < l.LiveBytes || l.AdjustedHighWater < l.AdjustedLiveBytes {
+				return false
+			}
+			if l.AdjustedLiveBytes > l.LiveBytes {
+				return false
+			}
+		}
+		return l.HighWater <= l.TotalBytes
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

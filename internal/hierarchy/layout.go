@@ -1,0 +1,294 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deadmembers/internal/types"
+)
+
+// The layout model follows a simplified Itanium-like ABI:
+//
+//   - char/bool occupy 1 byte; int 4; double 8; pointers and
+//     pointers-to-member 8; arrays are element size times length.
+//   - members are placed at their natural alignment; the class is padded
+//     to its own alignment (the max member alignment).
+//   - a polymorphic class (virtual methods or virtual bases) carries one
+//     8-byte vptr at offset 0 of its non-virtual region; non-virtual base
+//     subobjects precede the class's own fields.
+//   - each virtual base is laid out exactly once, at the end of the most
+//     derived object.
+//   - unions overlay all members at offset 0.
+//   - an otherwise empty class occupies 1 byte.
+//
+// This keeps every number in Table 2 auditable byte-by-byte.
+
+// Word is the pointer size of the layout model, in bytes.
+const Word = 8
+
+// MemberInstance is one occurrence of a data member within a complete
+// object: the same Field appears once per (non-virtual) base subobject
+// occurrence and exactly once for fields of virtual bases.
+type MemberInstance struct {
+	Field  *types.Field
+	Offset int
+	Size   int
+}
+
+// Layout describes the complete-object layout of a class.
+type Layout struct {
+	Class *types.Class
+	Size  int
+	Align int
+
+	// VptrBytes is the total space occupied by vtable pointers in the
+	// complete object (one Word per polymorphic non-virtual region).
+	VptrBytes int
+
+	// Members lists every data-member instance in the complete object,
+	// in ascending offset order.
+	Members []MemberInstance
+}
+
+// SizeOf returns the byte size of t under the layout model. Class sizes
+// are complete-object sizes (a class-typed member embeds a complete
+// object of that class; MC++ members are never base subobjects).
+func (g *Graph) SizeOf(t types.Type) int {
+	switch x := t.(type) {
+	case *types.Basic:
+		switch x.Kind {
+		case types.Void:
+			return 0
+		case types.Bool, types.Char:
+			return 1
+		case types.Int:
+			return 4
+		case types.Double:
+			return 8
+		}
+	case *types.Pointer, *types.MemberPointer:
+		return Word
+	case *types.Array:
+		return x.Len * g.SizeOf(x.Elem)
+	case *types.Class:
+		return g.LayoutOf(x).Size
+	}
+	return 0
+}
+
+// AlignOf returns the alignment requirement of t.
+func (g *Graph) AlignOf(t types.Type) int {
+	switch x := t.(type) {
+	case *types.Basic:
+		switch x.Kind {
+		case types.Bool, types.Char:
+			return 1
+		case types.Int:
+			return 4
+		case types.Double:
+			return 8
+		}
+		return 1
+	case *types.Pointer, *types.MemberPointer:
+		return Word
+	case *types.Array:
+		return g.AlignOf(x.Elem)
+	case *types.Class:
+		return g.LayoutOf(x).Align
+	}
+	return 1
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// LayoutOf returns (computing and caching on first use) the complete-object
+// layout of c.
+func (g *Graph) LayoutOf(c *types.Class) *Layout {
+	if l, ok := g.layouts[c]; ok {
+		return l
+	}
+	// Reserve the slot to catch accidental recursion on cyclic hierarchies
+	// (rejected by sema, but be defensive).
+	placeholder := &Layout{Class: c, Size: 1, Align: 1}
+	g.layouts[c] = placeholder
+
+	l := g.computeLayout(c)
+	g.layouts[c] = l
+	return l
+}
+
+func (g *Graph) computeLayout(c *types.Class) *Layout {
+	l := &Layout{Class: c, Align: 1}
+
+	if c.IsUnion() {
+		size := 0
+		for _, f := range c.Fields {
+			fs := g.SizeOf(f.Type)
+			fa := g.AlignOf(f.Type)
+			if fs > size {
+				size = fs
+			}
+			if fa > l.Align {
+				l.Align = fa
+			}
+			l.Members = append(l.Members, MemberInstance{Field: f, Offset: 0, Size: fs})
+		}
+		l.Size = alignUp(maxInt(size, 1), l.Align)
+		return l
+	}
+
+	off := 0
+	// Non-virtual region: vptr, then non-virtual base subobjects, then own
+	// fields.
+	off = g.layoutNonVirtual(c, off, l)
+
+	// Virtual bases, once each, at the end.
+	for _, vb := range g.VirtualBases(c) {
+		vl := g.nonVirtualShape(vb)
+		off = alignUp(off, vl.align)
+		base := off
+		for _, mi := range vl.members {
+			l.Members = append(l.Members, MemberInstance{Field: mi.Field, Offset: base + mi.Offset, Size: mi.Size})
+		}
+		l.VptrBytes += vl.vptrBytes
+		if vl.align > l.Align {
+			l.Align = vl.align
+		}
+		off = base + vl.size
+	}
+
+	l.Size = alignUp(maxInt(off, 1), l.Align)
+	sort.SliceStable(l.Members, func(i, j int) bool { return l.Members[i].Offset < l.Members[j].Offset })
+	return l
+}
+
+// layoutNonVirtual appends the non-virtual region of c (vptr, non-virtual
+// bases recursively, own fields) to l starting at off; returns the new
+// offset.
+func (g *Graph) layoutNonVirtual(c *types.Class, off int, l *Layout) int {
+	shape := g.nonVirtualShape(c)
+	off = alignUp(off, shape.align)
+	base := off
+	for _, mi := range shape.members {
+		l.Members = append(l.Members, MemberInstance{Field: mi.Field, Offset: base + mi.Offset, Size: mi.Size})
+	}
+	l.VptrBytes += shape.vptrBytes
+	if shape.align > l.Align {
+		l.Align = shape.align
+	}
+	return base + shape.size
+}
+
+// nvShape is the layout of a class's non-virtual region (everything except
+// virtual bases), used both for base subobjects and as the top of the
+// complete object.
+type nvShape struct {
+	size      int
+	align     int
+	vptrBytes int
+	members   []MemberInstance
+}
+
+func (g *Graph) nonVirtualShape(c *types.Class) nvShape {
+	var s nvShape
+	s.align = 1
+	off := 0
+	// A polymorphic class needs a vptr, but reuses the one of its primary
+	// (first non-virtual polymorphic) base if it has one, as in the
+	// Itanium ABI.
+	if g.IsPolymorphic(c) && !g.hasPolymorphicNonVirtualBase(c) {
+		off = Word
+		s.vptrBytes = Word
+		s.align = Word
+	}
+	for _, b := range c.Bases {
+		if b.Virtual {
+			continue
+		}
+		bs := g.nonVirtualShape(b.Class)
+		off = alignUp(off, bs.align)
+		for _, mi := range bs.members {
+			s.members = append(s.members, MemberInstance{Field: mi.Field, Offset: off + mi.Offset, Size: mi.Size})
+		}
+		s.vptrBytes += bs.vptrBytes
+		if bs.align > s.align {
+			s.align = bs.align
+		}
+		off += bs.size
+	}
+	for _, f := range c.Fields {
+		fs := g.SizeOf(f.Type)
+		fa := g.AlignOf(f.Type)
+		off = alignUp(off, fa)
+		s.members = append(s.members, MemberInstance{Field: f, Offset: off, Size: fs})
+		if fa > s.align {
+			s.align = fa
+		}
+		off += fs
+	}
+	s.size = alignUp(maxInt(off, 1), s.align)
+	return s
+}
+
+// hasPolymorphicNonVirtualBase reports whether c has a direct non-virtual
+// base whose non-virtual region already carries a vptr.
+func (g *Graph) hasPolymorphicNonVirtualBase(c *types.Class) bool {
+	for _, b := range c.Bases {
+		if !b.Virtual && (b.Class.HasVirtualMethods() || g.hasPolymorphicNonVirtualBase(b.Class)) {
+			return true
+		}
+	}
+	return false
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DeadBytes returns the number of bytes in one complete object of c that
+// are occupied by members for which dead(field) is true.
+func (l *Layout) DeadBytes(dead func(*types.Field) bool) int {
+	total := 0
+	for _, mi := range l.Members {
+		if dead(mi.Field) {
+			total += mi.Size
+		}
+	}
+	return total
+}
+
+// SizeWithout returns the size the object would have if all members for
+// which dead(field) is true were removed. The model recompacts remaining
+// members (paper Section 4.3: "if all dead data members were to be
+// eliminated"), conservatively keeping alignment padding at the object
+// granularity.
+func (l *Layout) SizeWithout(dead func(*types.Field) bool) int {
+	removed := l.DeadBytes(dead)
+	if removed == 0 {
+		return l.Size
+	}
+	s := l.Size - removed
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// String renders the layout for debugging and golden tests.
+func (l *Layout) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: size=%d align=%d vptr=%d\n", l.Class.Name, l.Size, l.Align, l.VptrBytes)
+	for _, mi := range l.Members {
+		fmt.Fprintf(&b, "  +%-4d %-6d %s\n", mi.Offset, mi.Size, mi.Field.QualifiedName())
+	}
+	return b.String()
+}

@@ -1,0 +1,238 @@
+package interp
+
+import (
+	"fmt"
+
+	"deadmembers/internal/ast"
+	"deadmembers/internal/source"
+	"deadmembers/internal/types"
+)
+
+// evalCall dispatches function, method, and builtin calls.
+func (m *Machine) evalCall(f *frame, x *ast.Call) Value {
+	switch fun := ast.Unparen(x.Fun).(type) {
+	case *ast.Ident:
+		if mth, ok := m.info.IdentMethods[fun]; ok {
+			// Implicit this->m(...): virtual dispatch on the dynamic
+			// class of the receiver.
+			if f.this == nil {
+				m.fail(x.Pos(), "implicit member call with no receiver")
+			}
+			target := m.dispatch(x.Pos(), f.this, mth, true, "")
+			args := m.evalArgs(f, x.Args)
+			return m.callFunction(target, f.this, args)
+		}
+		if fn, ok := m.info.IdentFuncs[fun]; ok {
+			if fn.Builtin {
+				return m.callBuiltin(f, fn.Name, x)
+			}
+			args := m.evalArgs(f, x.Args)
+			return m.callFunction(fn, nil, args)
+		}
+		m.fail(x.Pos(), "unresolved call target %s", fun.Name)
+	case *ast.Member:
+		mth, ok := m.info.MethodRefs[fun]
+		if !ok {
+			m.fail(x.Pos(), "unresolved method %s", fun.Name)
+		}
+		obj := m.receiverObject(f, fun.X, fun.Arrow)
+		target := m.dispatch(x.Pos(), obj, mth, true, fun.Qual)
+		args := m.evalArgs(f, x.Args)
+		return m.callFunction(target, obj, args)
+	}
+	m.fail(x.Pos(), "called expression is not callable")
+	return Value{}
+}
+
+func (m *Machine) evalArgs(f *frame, args []ast.Expr) []Value {
+	out := make([]Value, len(args))
+	for i, a := range args {
+		out[i] = m.evalExpr(f, a)
+	}
+	return out
+}
+
+// dispatch resolves the method actually invoked: virtual methods dispatch
+// on the receiver's dynamic class unless an explicit qualifier pins the
+// target.
+func (m *Machine) dispatch(pos source.Pos, obj *Object, mth *types.Func, dynamic bool, qual string) *types.Func {
+	if qual != "" || !mth.Virtual || !dynamic {
+		if mth.Body == nil && mth.Virtual {
+			// Pure or body-less virtual reached statically: try dynamic.
+			if t := m.h.Overrides(obj.Class, mth.Name); t != nil && t.Body != nil {
+				return t
+			}
+		}
+		return mth
+	}
+	target := m.h.Overrides(obj.Class, mth.Name)
+	if target == nil || target.Body == nil {
+		m.fail(pos, "pure virtual method %s called on %s", mth.QualifiedName(), obj.Class.Name)
+	}
+	return target
+}
+
+// ---------------------------------------------------------------------------
+// new / delete
+
+func (m *Machine) evalNew(f *frame, x *ast.New) Value {
+	t := m.info.TypeExprs[x.Type]
+
+	if x.Len != nil { // new T[n]
+		n := int(m.evalExpr(f, x.Len).AsInt())
+		if n < 0 {
+			m.fail(x.Pos(), "negative array size %d in new[]", n)
+		}
+		blk := &HeapBlock{Array: true}
+		cells := make([]*Cell, n)
+		if cls := types.IsClass(t); cls != nil {
+			for i := range cells {
+				obj := m.newObject(cls, true)
+				m.constructObject(obj, cls.CtorByArity(0), nil)
+				cells[i] = &Cell{V: Value{K: KObj, Obj: obj}}
+				blk.Objs = append(blk.Objs, obj)
+			}
+		} else {
+			for i := range cells {
+				cells[i] = &Cell{V: m.zeroValue(t)}
+			}
+		}
+		blk.Cells = cells
+		return ptrV(Pointer{Arr: cells, arrp: true, Block: blk})
+	}
+
+	if cls := types.IsClass(t); cls != nil { // new C(args)
+		obj := m.newObject(cls, true)
+		args := m.evalArgs(f, x.Args)
+		m.constructObject(obj, m.info.NewCtors[x], args)
+		blk := &HeapBlock{Objs: []*Object{obj}}
+		return ptrV(Pointer{Obj: obj, Block: blk})
+	}
+
+	// Scalar new.
+	cell := &Cell{V: m.zeroValue(t)}
+	if len(x.Args) == 1 {
+		v := m.evalExpr(f, x.Args[0])
+		m.storeInto(cell, m.convert(v, t))
+	}
+	blk := &HeapBlock{Cells: []*Cell{cell}}
+	return ptrV(Pointer{Cell: cell, Block: blk})
+}
+
+func (m *Machine) evalDelete(f *frame, x *ast.Delete) {
+	v := m.evalExpr(f, x.X)
+	if v.K != KPtr {
+		m.fail(x.Pos(), "delete of non-pointer")
+	}
+	p := v.P
+	if p.IsNull() {
+		return // deleting null is a no-op, as in C++
+	}
+	blk := p.Block
+	if blk == nil {
+		m.fail(x.Pos(), "delete of pointer not obtained from new")
+	}
+	if blk.Freed {
+		m.fail(x.Pos(), "double delete")
+	}
+	if x.Array != blk.Array {
+		if blk.Array {
+			m.fail(x.Pos(), "array allocated with new[] must be released with delete[]")
+		}
+		m.fail(x.Pos(), "scalar allocation must be released with delete, not delete[]")
+	}
+	blk.Freed = true
+	for i := len(blk.Objs) - 1; i >= 0; i-- {
+		m.destroyObject(blk.Objs[i])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Builtins
+
+func (m *Machine) callBuiltin(f *frame, name string, x *ast.Call) Value {
+	switch name {
+	case "print", "println":
+		if len(x.Args) == 1 {
+			m.printValue(f, x.Args[0])
+		}
+		if name == "println" {
+			fmt.Fprintln(m.out)
+		}
+		return Value{K: KVoid}
+	case "malloc":
+		n := int(m.evalExpr(f, x.Args[0]).AsInt())
+		if n < 0 {
+			m.fail(x.Pos(), "malloc of negative size %d", n)
+		}
+		cells := make([]*Cell, n)
+		for i := range cells {
+			cells[i] = &Cell{V: intV(0)}
+		}
+		blk := &HeapBlock{Cells: cells, Array: true}
+		return ptrV(Pointer{Arr: cells, arrp: true, Block: blk})
+	case "free":
+		v := m.evalExpr(f, x.Args[0])
+		if v.K != KPtr || v.P.IsNull() {
+			return Value{K: KVoid} // free(nullptr) is a no-op
+		}
+		blk := v.P.Block
+		if blk == nil {
+			m.fail(x.Pos(), "free of pointer not obtained from an allocator")
+		}
+		if blk.Freed {
+			m.fail(x.Pos(), "double free")
+		}
+		blk.Freed = true
+		for i := len(blk.Objs) - 1; i >= 0; i-- {
+			m.destroyObject(blk.Objs[i])
+		}
+		return Value{K: KVoid}
+	case "rand_seed":
+		m.rng = uint64(m.evalExpr(f, x.Args[0]).AsInt())*2862933555777941757 + 3037000493
+		return Value{K: KVoid}
+	case "rand_next":
+		n := m.evalExpr(f, x.Args[0]).AsInt()
+		if n <= 0 {
+			m.fail(x.Pos(), "rand_next bound must be positive, got %d", n)
+		}
+		m.rng = m.rng*6364136223846793005 + 1442695040888963407
+		return intV(int64((m.rng >> 33) % uint64(n)))
+	case "clock":
+		return intV(m.steps)
+	case "abort":
+		m.fail(x.Pos(), "abort() called")
+	}
+	m.fail(x.Pos(), "unknown builtin %s", name)
+	return Value{}
+}
+
+// printValue renders one print argument; char* prints as a NUL-terminated
+// string.
+func (m *Machine) printValue(f *frame, arg ast.Expr) {
+	v := m.evalExpr(f, arg)
+	t := m.info.TypeOf(arg)
+	if p, ok := t.(*types.Pointer); ok {
+		if b, isBasic := p.Elem.(*types.Basic); isBasic && b.Kind == types.Char && v.K == KPtr && !v.P.IsNull() {
+			m.printCString(v.P)
+			return
+		}
+	}
+	fmt.Fprint(m.out, v.String())
+}
+
+func (m *Machine) printCString(p Pointer) {
+	if !p.arrp {
+		if p.Cell != nil {
+			fmt.Fprint(m.out, string(rune(byte(p.Cell.V.AsInt()))))
+		}
+		return
+	}
+	for i := p.Idx; i < len(p.Arr); i++ {
+		c := byte(p.Arr[i].V.AsInt())
+		if c == 0 {
+			return
+		}
+		fmt.Fprint(m.out, string(rune(c)))
+	}
+}

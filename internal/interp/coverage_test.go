@@ -1,0 +1,210 @@
+package interp_test
+
+import "testing"
+
+// Tests targeting less-travelled interpreter paths: pointer comparisons
+// and ordering, value conversions, by-value class passing/returning,
+// prefix/postfix on pointers and doubles, and printing of every kind.
+
+func TestByValueClassParamAndReturn(t *testing.T) {
+	expectExit(t, `
+class V {
+public:
+	int n;
+	V(int a) : n(a) {}
+};
+V doubleIt(V v) {     // by-value parameter: callee gets a copy
+	v.n = v.n * 2;
+	return v;          // by-value return: caller gets a copy
+}
+int main() {
+	V a(21);
+	V b = doubleIt(a);
+	return b.n * (a.n == 21 ? 1 : 0);  // a unchanged
+}`, 42)
+}
+
+func TestPointerOrderingWithinArray(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int a[10];
+	int* lo = &a[2];
+	int* hi = &a[7];
+	int ok = 0;
+	if (lo < hi) { ok = ok + 1; }
+	if (hi > lo) { ok = ok + 1; }
+	if (lo <= lo) { ok = ok + 1; }
+	if (hi >= hi) { ok = ok + 1; }
+	if (lo != hi) { ok = ok + 1; }
+	return ok;
+}`, 5)
+}
+
+func TestPointerEqualityAcrossObjects(t *testing.T) {
+	expectExit(t, `
+class C { public: int v; };
+int main() {
+	C a;
+	C b;
+	C* pa = &a;
+	C* pa2 = &a;
+	C* pb = &b;
+	int ok = 0;
+	if (pa == pa2) { ok = ok + 1; }
+	if (pa != pb) { ok = ok + 1; }
+	if (pa != nullptr) { ok = ok + 1; }
+	if (!(nullptr == pa)) { ok = ok + 1; }
+	return ok;
+}`, 4)
+}
+
+func TestPrefixPostfixOnPointersAndDoubles(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int a[5];
+	for (int i = 0; i < 5; i++) { a[i] = i * 10; }
+	int* p = &a[0];
+	p++;               // -> a[1]
+	++p;               // -> a[2]
+	int x = *p;        // 20
+	p--;               // -> a[1]
+	--p;               // -> a[0]
+	double d = 1.5;
+	d++;
+	++d;               // 3.5
+	return x + *p + (d == 3.5 ? 2 : 0);  // 20 + 0 + 2
+}`, 22)
+}
+
+func TestConversionsEveryDirection(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int i = (int)'A';          // 65
+	char c = (char)321;        // 321 % 256 = 65
+	bool bTrue = (bool)3;
+	bool bFalse = (bool)0.0;
+	double d = (double)true;   // 1.0
+	int fromD = (int)9.99;     // 9
+	return i + c + (bTrue ? 1 : 0) + (bFalse ? 100 : 0) + (int)d + fromD;
+}`, 65+65+1+0+1+9)
+}
+
+func TestPrintAllKinds(t *testing.T) {
+	expectOutput(t, `
+class C { public: int v; };
+int main() {
+	print(-3);
+	print(' ');
+	print(2.25);
+	print(' ');
+	print(false);
+	print(' ');
+	int* null = nullptr;
+	print(null);
+	print(' ');
+	C c;
+	C* p = &c;
+	print(p);
+	print(' ');
+	int C::* pm = &C::v;
+	print(pm != nullptr);
+	println();
+	return 0;
+}`, "-3 2.25 false nullptr <ptr> true\n")
+}
+
+func TestCompoundAssignOnMembersAndElements(t *testing.T) {
+	expectExit(t, `
+class Acc {
+public:
+	int total;
+	int parts[3];
+	Acc() : total(0) { parts[0] = 0; parts[1] = 0; parts[2] = 0; }
+};
+int main() {
+	Acc a;
+	a.total += 5;
+	a.total -= 1;
+	a.total *= 3;      // 12
+	a.parts[1] += 7;
+	a.parts[1] %= 4;   // 3
+	a.parts[2] = 9;
+	a.parts[2] /= 2;   // 4
+	return a.total + a.parts[1] + a.parts[2];
+}`, 19)
+}
+
+func TestGlobalClassWithCtorArgs(t *testing.T) {
+	expectExit(t, `
+class Cfg {
+public:
+	int port;
+	int timeout;
+	Cfg(int p, int t) : port(p), timeout(t) {}
+};
+Cfg cfg(8000, 30);
+int main() { return cfg.port / 100 + cfg.timeout; }`, 110)
+}
+
+func TestNegativeModuloAndDivision(t *testing.T) {
+	// Go-style truncated division (matches C++11).
+	expectExit(t, `
+int main() {
+	int a = -7 / 2;    // -3
+	int b = -7 % 2;    // -1
+	int c = 7 / -2;    // -3
+	return (a == -3 && b == -1 && c == -3) ? 0 : 1;
+}`, 0)
+}
+
+func TestDoWhileAndConditionKinds(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int n = 0;
+	do { n++; } while (n < 3);
+	int* p = &n;
+	int hits = 0;
+	while (p) { hits++; p = nullptr; }   // pointer condition
+	double d = 2.0;
+	if (d) { hits++; }                   // double condition
+	char c = 'x';
+	if (c) { hits++; }                   // char condition
+	return n * 10 + hits;
+}`, 33)
+}
+
+func TestMallocZeroAndFreeNull(t *testing.T) {
+	expectExit(t, `
+int main() {
+	void* p = malloc(0);
+	free(p);
+	free(nullptr);
+	return 0;
+}`, 0)
+}
+
+func TestArrayOfClassLocals(t *testing.T) {
+	expectOutput(t, `
+class T {
+public:
+	int id;
+	T() : id(7) {}
+	~T() { print("-"); }
+};
+int main() {
+	{
+		T group[3];
+		print(group[0].id + group[1].id + group[2].id);
+	}
+	print("|");
+	return 0;
+}`, "21---|")
+}
+
+func TestStringIndexing(t *testing.T) {
+	expectExit(t, `
+int main() {
+	char* s = "abc";
+	return s[0] + s[2] - 2 * 'a' - 2;  // 'a'+'c'-2'a'-2 = 0
+}`, 0)
+}

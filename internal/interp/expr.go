@@ -1,0 +1,589 @@
+package interp
+
+import (
+	"deadmembers/internal/ast"
+	"deadmembers/internal/source"
+	"deadmembers/internal/token"
+	"deadmembers/internal/types"
+)
+
+// lv is an evaluated lvalue: either a storage cell or a bare object (the
+// result of dereferencing an object pointer).
+type lv struct {
+	c   *Cell
+	obj *Object
+}
+
+func (l lv) load() Value {
+	if l.c != nil {
+		return l.c.V
+	}
+	return Value{K: KObj, Obj: l.obj}
+}
+
+func (m *Machine) lvStore(l lv, v Value) {
+	if l.c != nil {
+		m.storeInto(l.c, v)
+		return
+	}
+	if v.K == KObj && v.Obj != nil {
+		m.copyObject(l.obj, v.Obj)
+	}
+}
+
+// objectOf extracts the class object an lvalue denotes.
+func (l lv) objectOf() *Object {
+	if l.obj != nil {
+		return l.obj
+	}
+	if l.c != nil && l.c.V.K == KObj {
+		return l.c.V.Obj
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+
+func (m *Machine) evalExpr(f *frame, e ast.Expr) Value {
+	switch x := e.(type) {
+	case *ast.Paren:
+		return m.evalExpr(f, x.X)
+	case *ast.IntLit:
+		return intV(x.Value)
+	case *ast.FloatLit:
+		return doubleV(x.Value)
+	case *ast.CharLit:
+		return charV(x.Value)
+	case *ast.BoolLit:
+		return boolV(x.Value)
+	case *ast.NullLit:
+		return nullV()
+	case *ast.StringLit:
+		cells := make([]*Cell, len(x.Value)+1)
+		for i := 0; i < len(x.Value); i++ {
+			cells[i] = &Cell{V: charV(x.Value[i])}
+		}
+		cells[len(x.Value)] = &Cell{V: charV(0)}
+		return ptrV(Pointer{Arr: cells, arrp: true})
+	case *ast.ThisExpr:
+		if f.this == nil {
+			m.fail(x.Pos(), "this used with no receiver")
+		}
+		return ptrV(Pointer{Obj: f.this})
+	case *ast.Ident:
+		if fld := m.info.IdentFields[x]; fld != nil {
+			cell := m.fieldCell(x.Pos(), f.this, fld)
+			return cell.V
+		}
+		return m.varCell(f, x).V
+	case *ast.QualifiedIdent:
+		m.fail(x.Pos(), "qualified identifier %s::%s used as value", x.Class, x.Name)
+	case *ast.Unary:
+		return m.evalUnary(f, x)
+	case *ast.Postfix:
+		l := m.evalLValue(f, x.X)
+		old := l.load()
+		m.lvStore(l, m.incDec(x.Pos(), old, x.Op == token.Inc))
+		return old
+	case *ast.Binary:
+		return m.evalBinary(f, x)
+	case *ast.Assign:
+		return m.evalAssign(f, x)
+	case *ast.Cond:
+		if m.evalExpr(f, x.C).IsTruthy() {
+			return m.evalExpr(f, x.Then)
+		}
+		return m.evalExpr(f, x.Else)
+	case *ast.Member:
+		l := m.evalLValue(f, x)
+		return l.load()
+	case *ast.MemberPtrDeref:
+		l := m.evalLValue(f, x)
+		return l.load()
+	case *ast.Index:
+		l := m.evalLValue(f, x)
+		return l.load()
+	case *ast.Call:
+		return m.evalCall(f, x)
+	case *ast.Cast:
+		v := m.evalExpr(f, x.X)
+		return m.convert(v, m.info.TypeExprs[x.Type])
+	case *ast.New:
+		return m.evalNew(f, x)
+	case *ast.Delete:
+		m.evalDelete(f, x)
+		return Value{K: KVoid}
+	case *ast.Sizeof:
+		var t types.Type
+		if x.Type != nil {
+			t = m.info.TypeExprs[x.Type]
+		} else {
+			t = m.info.TypeOf(x.X) // operand is not evaluated
+		}
+		return intV(int64(m.h.SizeOf(t)))
+	}
+	m.fail(e.Pos(), "unsupported expression")
+	return Value{}
+}
+
+// varCell resolves a plain identifier to its storage cell.
+func (m *Machine) varCell(f *frame, x *ast.Ident) *Cell {
+	v := m.info.IdentVars[x]
+	if v == nil {
+		m.fail(x.Pos(), "unresolved identifier %s", x.Name)
+	}
+	if c, ok := f.vars[v]; ok {
+		return c
+	}
+	if c, ok := m.globals[v]; ok {
+		return c
+	}
+	m.fail(x.Pos(), "variable %s has no storage (not in scope)", x.Name)
+	return nil
+}
+
+// fieldCell locates the cell of fld inside obj.
+func (m *Machine) fieldCell(pos source.Pos, obj *Object, fld *types.Field) *Cell {
+	if obj == nil {
+		m.fail(pos, "member %s accessed with null receiver", fld.QualifiedName())
+	}
+	c, ok := obj.Cell(fld)
+	if !ok {
+		m.fail(pos, "object of class %s has no member %s (invalid downcast?)",
+			obj.Class.Name, fld.QualifiedName())
+	}
+	return c
+}
+
+// evalLValue evaluates e as an assignable location.
+func (m *Machine) evalLValue(f *frame, e ast.Expr) lv {
+	switch x := e.(type) {
+	case *ast.Paren:
+		return m.evalLValue(f, x.X)
+	case *ast.Ident:
+		if fld := m.info.IdentFields[x]; fld != nil {
+			return lv{c: m.fieldCell(x.Pos(), f.this, fld)}
+		}
+		return lv{c: m.varCell(f, x)}
+	case *ast.Member:
+		obj := m.receiverObject(f, x.X, x.Arrow)
+		fld := m.info.FieldRefs[x]
+		if fld == nil {
+			m.fail(x.Pos(), "member %s did not resolve to a data member", x.Name)
+		}
+		return lv{c: m.fieldCell(x.Pos(), obj, fld)}
+	case *ast.MemberPtrDeref:
+		obj := m.receiverObject(f, x.X, x.Arrow)
+		pv := m.evalExpr(f, x.Ptr)
+		if pv.K != KMemberPtr || pv.MP == nil {
+			m.fail(x.Pos(), "dereference of null pointer-to-member")
+		}
+		return lv{c: m.fieldCell(x.Pos(), obj, pv.MP)}
+	case *ast.Index:
+		base := m.evalExpr(f, x.X)
+		idx := int(m.evalExpr(f, x.I).AsInt())
+		switch base.K {
+		case KArr:
+			if idx < 0 || idx >= len(base.Arr) {
+				m.fail(x.Pos(), "array index %d out of range [0,%d)", idx, len(base.Arr))
+			}
+			return lv{c: base.Arr[idx]}
+		case KPtr:
+			return m.pointerElem(x.Pos(), base.P, idx)
+		}
+		m.fail(x.Pos(), "indexing non-array value")
+	case *ast.Unary:
+		if x.Op == token.Star {
+			p := m.evalExpr(f, x.X)
+			if p.K != KPtr {
+				m.fail(x.Pos(), "dereference of non-pointer")
+			}
+			return m.pointerElem(x.Pos(), p.P, 0)
+		}
+	}
+	m.fail(e.Pos(), "expression is not an lvalue at run time")
+	return lv{}
+}
+
+// pointerElem resolves ptr+delta to a location, checking null,
+// use-after-free, and bounds.
+func (m *Machine) pointerElem(pos source.Pos, p Pointer, delta int) lv {
+	if p.IsNull() {
+		m.fail(pos, "null pointer dereference")
+	}
+	if p.Block != nil && p.Block.Freed {
+		m.fail(pos, "use after free")
+	}
+	switch {
+	case p.Obj != nil:
+		if delta != 0 {
+			m.fail(pos, "pointer arithmetic on object pointer")
+		}
+		return lv{obj: p.Obj}
+	case p.Cell != nil:
+		if delta != 0 {
+			m.fail(pos, "pointer arithmetic on non-array pointer")
+		}
+		return lv{c: p.Cell}
+	default:
+		i := p.Idx + delta
+		if i < 0 || i >= len(p.Arr) {
+			m.fail(pos, "pointer index %d out of range [0,%d)", i, len(p.Arr))
+		}
+		return lv{c: p.Arr[i]}
+	}
+}
+
+// receiverObject evaluates a member-access receiver to an object.
+func (m *Machine) receiverObject(f *frame, e ast.Expr, arrow bool) *Object {
+	v := m.evalExpr(f, e)
+	if arrow {
+		if v.K != KPtr {
+			m.fail(e.Pos(), "-> on non-pointer value")
+		}
+		l := m.pointerElem(e.Pos(), v.P, 0)
+		obj := l.objectOf()
+		if obj == nil {
+			m.fail(e.Pos(), "-> target is not a class object")
+		}
+		return obj
+	}
+	if v.K != KObj || v.Obj == nil {
+		m.fail(e.Pos(), "member access on non-object value")
+	}
+	return v.Obj
+}
+
+func (m *Machine) evalUnary(f *frame, x *ast.Unary) Value {
+	switch x.Op {
+	case token.Amp:
+		if qi, ok := ast.Unparen(x.X).(*ast.QualifiedIdent); ok {
+			fld := m.info.QualFieldRefs[qi]
+			if fld == nil {
+				m.fail(x.Pos(), "unresolved pointer-to-member &%s::%s", qi.Class, qi.Name)
+			}
+			return memberPtrV(fld)
+		}
+		// &arr[i] yields a pointer into the array so that pointer
+		// arithmetic on the result works.
+		if ix, ok := ast.Unparen(x.X).(*ast.Index); ok {
+			base := m.evalExpr(f, ix.X)
+			idx := int(m.evalExpr(f, ix.I).AsInt())
+			switch base.K {
+			case KArr:
+				if idx < 0 || idx > len(base.Arr) {
+					m.fail(x.Pos(), "&array[%d] out of range [0,%d]", idx, len(base.Arr))
+				}
+				return ptrV(Pointer{Arr: base.Arr, Idx: idx, arrp: true})
+			case KPtr:
+				if base.P.arrp {
+					p := base.P
+					p.Idx += idx
+					return ptrV(p)
+				}
+			}
+		}
+		l := m.evalLValue(f, x.X)
+		if obj := l.objectOf(); obj != nil && (l.c == nil || l.c.V.K == KObj) {
+			return ptrV(Pointer{Obj: obj})
+		}
+		return ptrV(Pointer{Cell: l.c})
+	case token.Star:
+		l := m.evalLValue(f, x)
+		return l.load()
+	case token.Minus:
+		v := m.evalExpr(f, x.X)
+		if v.K == KDouble {
+			return doubleV(-v.F)
+		}
+		return intV(-v.AsInt())
+	case token.Not:
+		return boolV(!m.evalExpr(f, x.X).IsTruthy())
+	case token.Tilde:
+		return intV(^m.evalExpr(f, x.X).AsInt())
+	case token.Inc, token.Dec:
+		l := m.evalLValue(f, x.X)
+		nv := m.incDec(x.Pos(), l.load(), x.Op == token.Inc)
+		m.lvStore(l, nv)
+		return nv
+	}
+	m.fail(x.Pos(), "unsupported unary operator %s", x.Op)
+	return Value{}
+}
+
+func (m *Machine) incDec(pos source.Pos, v Value, inc bool) Value {
+	d := int64(1)
+	if !inc {
+		d = -1
+	}
+	switch v.K {
+	case KDouble:
+		return doubleV(v.F + float64(d))
+	case KPtr:
+		p := v.P
+		if p.Cell != nil || p.Obj != nil {
+			m.fail(pos, "pointer arithmetic on non-array pointer")
+		}
+		p.Idx += int(d)
+		return ptrV(p)
+	default:
+		nv := v
+		nv.I += d
+		return nv
+	}
+}
+
+func (m *Machine) evalAssign(f *frame, x *ast.Assign) Value {
+	l := m.evalLValue(f, x.LHS)
+	rhs := m.evalExpr(f, x.RHS)
+	if x.Op == token.Assign {
+		// Convert to the static type of the LHS for numeric narrowing.
+		if lt := m.info.TypeOf(x.LHS); lt != nil {
+			rhs = m.convert(rhs, lt)
+		}
+		m.lvStore(l, rhs)
+		return l.load()
+	}
+	old := l.load()
+	res := m.applyBinary(x.Pos(), x.Op.CompoundBase(), old, rhs)
+	if lt := m.info.TypeOf(x.LHS); lt != nil {
+		res = m.convert(res, lt)
+	}
+	m.lvStore(l, res)
+	return res
+}
+
+func (m *Machine) evalBinary(f *frame, x *ast.Binary) Value {
+	// Short-circuit logical operators.
+	switch x.Op {
+	case token.AmpAmp:
+		if !m.evalExpr(f, x.X).IsTruthy() {
+			return boolV(false)
+		}
+		return boolV(m.evalExpr(f, x.Y).IsTruthy())
+	case token.PipePipe:
+		if m.evalExpr(f, x.X).IsTruthy() {
+			return boolV(true)
+		}
+		return boolV(m.evalExpr(f, x.Y).IsTruthy())
+	}
+	a := m.evalExpr(f, x.X)
+	b := m.evalExpr(f, x.Y)
+	return m.applyBinary(x.Pos(), x.Op, a, b)
+}
+
+func (m *Machine) applyBinary(pos source.Pos, op token.Kind, a, b Value) Value {
+	// Pointer-to-member comparisons (including against the null constant,
+	// whose MP field is nil) take precedence over plain pointer handling.
+	if a.K == KMemberPtr || b.K == KMemberPtr {
+		switch op {
+		case token.Eq:
+			return boolV(a.MP == b.MP)
+		case token.Ne:
+			return boolV(a.MP != b.MP)
+		}
+		m.fail(pos, "invalid operation on pointer-to-member")
+	}
+	// Pointer arithmetic and comparisons.
+	if a.K == KPtr || b.K == KPtr {
+		return m.pointerBinary(pos, op, a, b)
+	}
+	if a.K == KDouble || b.K == KDouble {
+		x, y := a.AsFloat(), b.AsFloat()
+		switch op {
+		case token.Plus:
+			return doubleV(x + y)
+		case token.Minus:
+			return doubleV(x - y)
+		case token.Star:
+			return doubleV(x * y)
+		case token.Slash:
+			if y == 0 {
+				m.fail(pos, "floating division by zero")
+			}
+			return doubleV(x / y)
+		case token.Eq:
+			return boolV(x == y)
+		case token.Ne:
+			return boolV(x != y)
+		case token.Lt:
+			return boolV(x < y)
+		case token.Gt:
+			return boolV(x > y)
+		case token.Le:
+			return boolV(x <= y)
+		case token.Ge:
+			return boolV(x >= y)
+		}
+		m.fail(pos, "invalid floating operation %s", op)
+	}
+	x, y := a.AsInt(), b.AsInt()
+	switch op {
+	case token.Plus:
+		return intV(x + y)
+	case token.Minus:
+		return intV(x - y)
+	case token.Star:
+		return intV(x * y)
+	case token.Slash:
+		if y == 0 {
+			m.fail(pos, "integer division by zero")
+		}
+		return intV(x / y)
+	case token.Percent:
+		if y == 0 {
+			m.fail(pos, "integer modulo by zero")
+		}
+		return intV(x % y)
+	case token.Shl:
+		return intV(x << (uint(y) & 63))
+	case token.Shr:
+		return intV(x >> (uint(y) & 63))
+	case token.Amp:
+		return intV(x & y)
+	case token.Pipe:
+		return intV(x | y)
+	case token.Caret:
+		return intV(x ^ y)
+	case token.Eq:
+		return boolV(x == y)
+	case token.Ne:
+		return boolV(x != y)
+	case token.Lt:
+		return boolV(x < y)
+	case token.Gt:
+		return boolV(x > y)
+	case token.Le:
+		return boolV(x <= y)
+	case token.Ge:
+		return boolV(x >= y)
+	}
+	m.fail(pos, "invalid integer operation %s", op)
+	return Value{}
+}
+
+// ptrIdentity canonicalizes a pointer for comparison.
+func ptrIdentity(p Pointer) (interface{}, int) {
+	switch {
+	case p.Obj != nil:
+		return p.Obj, 0
+	case p.Cell != nil:
+		return p.Cell, 0
+	case p.arrp:
+		if len(p.Arr) > 0 {
+			return p.Arr[0], p.Idx
+		}
+		return nil, p.Idx
+	}
+	return nil, -1 // null
+}
+
+func (m *Machine) pointerBinary(pos source.Pos, op token.Kind, a, b Value) Value {
+	// ptr ± int, int + ptr, ptr - ptr.
+	switch op {
+	case token.Plus, token.Minus:
+		if a.K == KPtr && b.K != KPtr {
+			d := int(b.AsInt())
+			if op == token.Minus {
+				d = -d
+			}
+			p := a.P
+			if p.Cell != nil || p.Obj != nil {
+				if d != 0 {
+					m.fail(pos, "pointer arithmetic on non-array pointer")
+				}
+				return a
+			}
+			p.Idx += d
+			return ptrV(p)
+		}
+		if b.K == KPtr && op == token.Plus {
+			return m.pointerBinary(pos, op, b, a)
+		}
+		if a.K == KPtr && b.K == KPtr && op == token.Minus {
+			if !a.P.arrp || !b.P.arrp ||
+				len(a.P.Arr) == 0 || len(b.P.Arr) == 0 || a.P.Arr[0] != b.P.Arr[0] {
+				m.fail(pos, "subtraction of pointers into different allocations")
+			}
+			return intV(int64(a.P.Idx - b.P.Idx))
+		}
+	case token.Eq, token.Ne, token.Lt, token.Gt, token.Le, token.Ge:
+		// Comparisons against integral 0 (null constant).
+		na, nb := a, b
+		if na.K != KPtr {
+			if na.AsInt() == 0 {
+				na = nullV()
+			} else {
+				m.fail(pos, "comparison of pointer with non-zero integer")
+			}
+		}
+		if nb.K != KPtr {
+			if nb.AsInt() == 0 {
+				nb = nullV()
+			} else {
+				m.fail(pos, "comparison of pointer with non-zero integer")
+			}
+		}
+		ia, oa := ptrIdentity(na.P)
+		ib, ob := ptrIdentity(nb.P)
+		switch op {
+		case token.Eq:
+			return boolV(ia == ib && oa == ob)
+		case token.Ne:
+			return boolV(!(ia == ib && oa == ob))
+		case token.Lt:
+			return boolV(oa < ob)
+		case token.Gt:
+			return boolV(oa > ob)
+		case token.Le:
+			return boolV(oa <= ob)
+		case token.Ge:
+			return boolV(oa >= ob)
+		}
+	}
+	m.fail(pos, "invalid pointer operation %s", op)
+	return Value{}
+}
+
+// convert adapts v to type t (numeric conversions, pointer passthrough).
+func (m *Machine) convert(v Value, t types.Type) Value {
+	switch x := t.(type) {
+	case *types.Basic:
+		switch x.Kind {
+		case types.Int:
+			if v.K == KPtr {
+				// Deterministic pointer-to-integer: null -> 0, else 1.
+				if v.P.IsNull() {
+					return intV(0)
+				}
+				return intV(1)
+			}
+			return intV(v.AsInt())
+		case types.Char:
+			return charV(byte(v.AsInt()))
+		case types.Bool:
+			return boolV(v.IsTruthy())
+		case types.Double:
+			return doubleV(v.AsFloat())
+		case types.Void:
+			return Value{K: KVoid}
+		}
+	case *types.Pointer:
+		if v.K == KPtr {
+			return v
+		}
+		if v.AsInt() == 0 {
+			return nullV()
+		}
+		// Reinterpreting a nonzero integer as a pointer cannot be
+		// materialized in the cell model.
+		return nullV()
+	case *types.MemberPointer:
+		if v.K == KMemberPtr {
+			return v
+		}
+		return Value{K: KMemberPtr}
+	}
+	return v
+}

@@ -1,0 +1,577 @@
+package interp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"deadmembers/internal/ast"
+	"deadmembers/internal/heapsim"
+	"deadmembers/internal/hierarchy"
+	"deadmembers/internal/source"
+	"deadmembers/internal/types"
+)
+
+// Options configures an execution.
+type Options struct {
+	// Ledger, when non-nil, receives every class-object allocation and
+	// deallocation.
+	Ledger *heapsim.Ledger
+
+	// DeadField, when non-nil, classifies fields as dead for the adjusted
+	// (dead-members-removed) ledger accounting.
+	DeadField func(*types.Field) bool
+
+	// Output receives print/println output; defaults to an internal
+	// buffer exposed on Result.
+	Output io.Writer
+
+	// MaxSteps bounds executed statements (default 200,000,000).
+	MaxSteps int64
+
+	// MaxDepth bounds call nesting (default 10,000).
+	MaxDepth int
+}
+
+// Result reports a completed execution.
+type Result struct {
+	ExitCode int
+	Steps    int64
+	Output   string // captured output (empty if Options.Output was set)
+}
+
+// RuntimeError is an execution failure (null dereference, division by
+// zero, step exhaustion, ...).
+type RuntimeError struct {
+	Pos source.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return "runtime error: " + e.Msg }
+
+// control-flow signals (propagated via panic, caught structurally).
+type ctrlReturn struct{ v Value }
+type ctrlBreak struct{}
+type ctrlContinue struct{}
+
+// Machine executes one program.
+type Machine struct {
+	prog *types.Program
+	h    *hierarchy.Graph
+	info *types.Info
+	opts Options
+
+	out     io.Writer
+	buf     *bytes.Buffer
+	globals map[*types.Var]*Cell
+	gObjs   []*Object // global class objects, for end-of-run destruction
+
+	steps    int64
+	maxSteps int64
+	depth    int
+	maxDepth int
+	rng      uint64
+}
+
+// Run executes prog from main under opts.
+func Run(prog *types.Program, h *hierarchy.Graph, opts Options) (res *Result, err error) {
+	if prog.Main == nil {
+		return nil, fmt.Errorf("interp: program has no main function")
+	}
+	m := &Machine{
+		prog:     prog,
+		h:        h,
+		info:     prog.Info,
+		opts:     opts,
+		globals:  map[*types.Var]*Cell{},
+		maxSteps: opts.MaxSteps,
+		maxDepth: opts.MaxDepth,
+		rng:      0x2545F4914F6CDD1D,
+	}
+	if m.maxSteps <= 0 {
+		m.maxSteps = 200_000_000
+	}
+	if m.maxDepth <= 0 {
+		m.maxDepth = 10_000
+	}
+	if opts.Output != nil {
+		m.out = opts.Output
+	} else {
+		m.buf = &bytes.Buffer{}
+		m.out = m.buf
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RuntimeError); ok {
+				err = re
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	m.initGlobals()
+	ret := m.callFunction(prog.Main, nil, nil)
+	m.destroyGlobals()
+
+	res = &Result{ExitCode: int(ret.AsInt()), Steps: m.steps}
+	if m.buf != nil {
+		res.Output = m.buf.String()
+	}
+	return res, nil
+}
+
+func (m *Machine) fail(pos source.Pos, format string, args ...interface{}) {
+	panic(&RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (m *Machine) step(pos source.Pos) {
+	m.steps++
+	if m.steps > m.maxSteps {
+		m.fail(pos, "step limit exceeded (%d)", m.maxSteps)
+	}
+}
+
+// frame is one function activation.
+type frame struct {
+	fn     *types.Func
+	vars   map[*types.Var]*Cell
+	this   *Object
+	locals []*Object // counted local class objects, destroyed at exit
+}
+
+// initGlobals allocates and initializes global variables in declaration
+// order.
+func (m *Machine) initGlobals() {
+	f := &frame{vars: map[*types.Var]*Cell{}}
+	for _, g := range m.prog.Globals {
+		cell := &Cell{V: m.zeroValue(g.Type)}
+		m.globals[g] = cell
+		d := g.Decl
+		switch {
+		case d.Init != nil:
+			v := m.evalExpr(f, d.Init)
+			m.storeInto(cell, m.convert(v, g.Type))
+		case types.IsClass(g.Type) != nil:
+			cls := types.IsClass(g.Type)
+			obj := m.newObject(cls, true)
+			ctor := m.info.VarCtors[d]
+			var args []Value
+			for _, a := range d.CtorArgs {
+				args = append(args, m.evalExpr(f, a))
+			}
+			m.constructObject(obj, ctor, args)
+			cell.V = Value{K: KObj, Obj: obj}
+			m.gObjs = append(m.gObjs, obj)
+		default:
+			if arr, ok := g.Type.(*types.Array); ok {
+				cell.V = m.makeArray(arr, &m.gObjs)
+			}
+			if len(d.CtorArgs) == 1 {
+				v := m.evalExpr(f, d.CtorArgs[0])
+				m.storeInto(cell, m.convert(v, g.Type))
+			}
+		}
+	}
+}
+
+func (m *Machine) destroyGlobals() {
+	for i := len(m.gObjs) - 1; i >= 0; i-- {
+		m.destroyObject(m.gObjs[i])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Object construction and destruction
+
+// zeroValue builds the zero value of a type; class types get fresh
+// (uncounted) raw objects and arrays get fresh cells.
+func (m *Machine) zeroValue(t types.Type) Value {
+	switch x := t.(type) {
+	case *types.Basic:
+		switch x.Kind {
+		case types.Double:
+			return doubleV(0)
+		case types.Char:
+			return charV(0)
+		case types.Bool:
+			return boolV(false)
+		default:
+			return intV(0)
+		}
+	case *types.Pointer:
+		return nullV()
+	case *types.MemberPointer:
+		return Value{K: KMemberPtr}
+	case *types.Class:
+		return Value{K: KObj, Obj: m.newObject(x, false)}
+	case *types.Array:
+		cells := make([]*Cell, x.Len)
+		for i := range cells {
+			cells[i] = &Cell{V: m.zeroValue(x.Elem)}
+		}
+		return Value{K: KArr, Arr: cells}
+	}
+	return intV(0)
+}
+
+// makeArray builds an array value for a local/global declaration,
+// registering counted class elements for destruction via objs.
+func (m *Machine) makeArray(arr *types.Array, objs *[]*Object) Value {
+	cells := make([]*Cell, arr.Len)
+	for i := range cells {
+		if ec := types.IsClass(arr.Elem); ec != nil {
+			obj := m.newObject(ec, true)
+			m.constructObject(obj, ec.CtorByArity(0), nil)
+			cells[i] = &Cell{V: Value{K: KObj, Obj: obj}}
+			*objs = append(*objs, obj)
+		} else {
+			cells[i] = &Cell{V: m.zeroValue(arr.Elem)}
+		}
+	}
+	return Value{K: KArr, Arr: cells}
+}
+
+// newObject allocates an object of class cls with zeroed cells for every
+// distinct member (shared virtual bases appear once). counted objects are
+// reported to the ledger and destructed with ledger balance.
+func (m *Machine) newObject(cls *types.Class, counted bool) *Object {
+	obj := &Object{Class: cls, Fields: map[*types.Field]*Cell{}}
+	seen := map[*types.Class]bool{}
+	var add func(c *types.Class)
+	add = func(c *types.Class) {
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		for _, f := range c.Fields {
+			if _, dup := obj.Fields[f]; !dup {
+				obj.Fields[f] = &Cell{V: m.zeroValue(f.Type)}
+			}
+		}
+		for _, b := range c.Bases {
+			add(b.Class)
+		}
+	}
+	add(cls)
+
+	if counted {
+		lay := m.h.LayoutOf(cls)
+		obj.Size = lay.Size
+		if m.opts.DeadField != nil {
+			obj.DeadBytes = lay.DeadBytes(m.opts.DeadField)
+			obj.AdjSize = lay.SizeWithout(m.opts.DeadField)
+		} else {
+			obj.AdjSize = lay.Size
+		}
+		if m.opts.Ledger != nil {
+			m.opts.Ledger.Alloc(cls, obj.Size, obj.DeadBytes, obj.AdjSize)
+		}
+	}
+	return obj
+}
+
+// constructObject runs the full construction protocol on obj: virtual
+// bases (most-derived), then the selected constructor's base/member init
+// chain and body. ctor may be nil (default construction).
+func (m *Machine) constructObject(obj *Object, ctor *types.Func, args []Value) {
+	cls := obj.Class
+	// Virtual bases are initialized once, by the most-derived object.
+	for _, vb := range m.h.VirtualBases(cls) {
+		if ctor != nil {
+			if init, ok := m.findInit(ctor, vb.Name); ok {
+				m.runCtorInitTarget(obj, ctor, args, vb, init)
+				continue
+			}
+		}
+		m.runClassCtor(obj, vb, vb.CtorByArity(0), nil, false)
+	}
+	m.runClassCtor(obj, cls, ctor, args, false)
+}
+
+// findInit locates the ctor-init entry naming name.
+func (m *Machine) findInit(ctor *types.Func, name string) (*ast.CtorInit, bool) {
+	for i := range ctor.Inits {
+		if ctor.Inits[i].Name == name {
+			return &ctor.Inits[i], true
+		}
+	}
+	return nil, false
+}
+
+// runCtorInitTarget constructs virtual base vb using the init entry found
+// in the most-derived constructor; the entry's arguments are evaluated in
+// that constructor's frame.
+func (m *Machine) runCtorInitTarget(obj *Object, ctor *types.Func, args []Value, vb *types.Class, init *ast.CtorInit) {
+	f := m.ctorFrame(obj, ctor, args)
+	var vals []Value
+	for _, a := range init.Args {
+		vals = append(vals, m.evalExpr(f, a))
+	}
+	m.runClassCtor(obj, vb, vb.CtorByArity(len(init.Args)), vals, false)
+}
+
+// ctorFrame builds a frame for evaluating a constructor's initializer
+// arguments (parameters bound, this set).
+func (m *Machine) ctorFrame(obj *Object, ctor *types.Func, args []Value) *frame {
+	f := &frame{fn: ctor, vars: map[*types.Var]*Cell{}, this: obj}
+	for i, p := range ctor.Params {
+		var v Value
+		if i < len(args) {
+			v = args[i]
+		} else {
+			v = m.zeroValue(p.Type)
+		}
+		f.vars[p] = &Cell{V: v}
+	}
+	return f
+}
+
+// runClassCtor initializes the cls-level of obj: non-virtual bases,
+// members, and the constructor body. withVBases selects whether virtual
+// bases are handled here (only for classes acting as most-derived, which
+// constructObject has already done — so it is always false here).
+func (m *Machine) runClassCtor(obj *Object, cls *types.Class, ctor *types.Func, args []Value, withVBases bool) {
+	_ = withVBases
+	if ctor == nil {
+		// Default construction: default-construct bases and class members.
+		for _, b := range cls.Bases {
+			if b.Virtual {
+				continue
+			}
+			m.runClassCtor(obj, b.Class, b.Class.CtorByArity(0), nil, false)
+		}
+		for _, fld := range cls.Fields {
+			m.defaultConstructMember(obj, fld)
+		}
+		return
+	}
+
+	f := m.ctorFrame(obj, ctor, args)
+
+	// Direct non-virtual bases, in declaration order.
+	for _, b := range cls.Bases {
+		if b.Virtual {
+			continue
+		}
+		if init, ok := m.findInit(ctor, b.Class.Name); ok {
+			var vals []Value
+			for _, a := range init.Args {
+				vals = append(vals, m.evalExpr(f, a))
+			}
+			m.runClassCtor(obj, b.Class, b.Class.CtorByArity(len(init.Args)), vals, false)
+		} else {
+			m.runClassCtor(obj, b.Class, b.Class.CtorByArity(0), nil, false)
+		}
+	}
+
+	// Members in declaration order.
+	for _, fld := range cls.Fields {
+		if init, ok := m.findInit(ctor, fld.Name); ok {
+			cell, okc := obj.Cell(fld)
+			if !okc {
+				m.fail(ctor.Pos, "internal: missing cell for %s", fld.QualifiedName())
+			}
+			if mc := types.IsClass(fld.Type); mc != nil {
+				var vals []Value
+				for _, a := range init.Args {
+					vals = append(vals, m.evalExpr(f, a))
+				}
+				m.constructObject(cell.V.Obj, mc.CtorByArity(len(init.Args)), vals)
+			} else {
+				v := m.evalExpr(f, init.Args[0])
+				m.storeInto(cell, m.convert(v, fld.Type))
+			}
+		} else {
+			m.defaultConstructMember(obj, fld)
+		}
+	}
+
+	// Body.
+	if ctor.Body != nil {
+		m.execFuncBody(f, ctor)
+	}
+}
+
+func (m *Machine) defaultConstructMember(obj *Object, fld *types.Field) {
+	t := fld.Type
+	cell, ok := obj.Cell(fld)
+	if !ok {
+		return
+	}
+	if arr, isArr := t.(*types.Array); isArr {
+		if ec := types.IsClass(arr.Elem); ec != nil {
+			for _, ecell := range cell.V.Arr {
+				m.constructObject(ecell.V.Obj, ec.CtorByArity(0), nil)
+			}
+		}
+		return
+	}
+	if mc := types.IsClass(t); mc != nil {
+		m.constructObject(cell.V.Obj, mc.CtorByArity(0), nil)
+	}
+}
+
+// destroyObject runs the destructor protocol on obj (dtor bodies of the
+// dynamic class and its bases, members in reverse order, virtual bases
+// last) and balances the ledger for counted objects.
+func (m *Machine) destroyObject(obj *Object) {
+	if obj == nil || obj.Destroyed {
+		return
+	}
+	obj.Destroyed = true
+	m.destroyLevel(obj, obj.Class, map[*types.Class]bool{})
+	for i := len(m.h.VirtualBases(obj.Class)) - 1; i >= 0; i-- {
+		vb := m.h.VirtualBases(obj.Class)[i]
+		m.destroyLevel(obj, vb, map[*types.Class]bool{})
+	}
+	if obj.Size > 0 && m.opts.Ledger != nil {
+		m.opts.Ledger.Free(obj.Class, obj.Size, obj.DeadBytes, obj.AdjSize)
+	}
+}
+
+// destroyLevel runs the dtor body of cls, destroys cls's class-typed
+// members in reverse order, then recurses into non-virtual bases in
+// reverse order.
+func (m *Machine) destroyLevel(obj *Object, cls *types.Class, seen map[*types.Class]bool) {
+	if seen[cls] {
+		return
+	}
+	seen[cls] = true
+	if d := cls.Dtor(); d != nil && d.Body != nil {
+		f := &frame{fn: d, vars: map[*types.Var]*Cell{}, this: obj}
+		m.execFuncBody(f, d)
+	}
+	for i := len(cls.Fields) - 1; i >= 0; i-- {
+		fld := cls.Fields[i]
+		cell, ok := obj.Cell(fld)
+		if !ok {
+			continue
+		}
+		switch {
+		case cell.V.K == KObj && cell.V.Obj != nil:
+			m.destroyEmbedded(cell.V.Obj)
+		case cell.V.K == KArr:
+			for j := len(cell.V.Arr) - 1; j >= 0; j-- {
+				if ev := cell.V.Arr[j].V; ev.K == KObj && ev.Obj != nil {
+					m.destroyEmbedded(ev.Obj)
+				}
+			}
+		}
+	}
+	for i := len(cls.Bases) - 1; i >= 0; i-- {
+		if !cls.Bases[i].Virtual {
+			m.destroyLevel(obj, cls.Bases[i].Class, seen)
+		}
+	}
+}
+
+// destroyEmbedded destroys a member subobject (never ledger-counted).
+func (m *Machine) destroyEmbedded(obj *Object) {
+	if obj.Destroyed {
+		return
+	}
+	obj.Destroyed = true
+	m.destroyLevel(obj, obj.Class, map[*types.Class]bool{})
+	for i := len(m.h.VirtualBases(obj.Class)) - 1; i >= 0; i-- {
+		m.destroyLevel(obj, m.h.VirtualBases(obj.Class)[i], map[*types.Class]bool{})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Function invocation
+
+// callFunction invokes a free function or method. this is nil for free
+// functions.
+func (m *Machine) callFunction(fn *types.Func, this *Object, args []Value) Value {
+	if fn.Body == nil {
+		m.fail(fn.Pos, "call to %s which has no body", fn.QualifiedName())
+	}
+	m.depth++
+	if m.depth > m.maxDepth {
+		m.fail(fn.Pos, "call depth limit exceeded (%d)", m.maxDepth)
+	}
+	defer func() { m.depth-- }()
+
+	f := &frame{fn: fn, vars: map[*types.Var]*Cell{}, this: this}
+	for i, p := range fn.Params {
+		var v Value
+		if i < len(args) {
+			v = m.convert(args[i], p.Type)
+		} else {
+			v = m.zeroValue(p.Type)
+		}
+		if v.K == KObj && v.Obj != nil {
+			// By-value class parameter: bitwise copy (uncounted).
+			v = Value{K: KObj, Obj: m.cloneObject(v.Obj)}
+		}
+		f.vars[p] = &Cell{V: v}
+	}
+	return m.execFuncBody(f, fn)
+}
+
+// execFuncBody executes fn's body in frame f, catching return.
+func (m *Machine) execFuncBody(f *frame, fn *types.Func) (ret Value) {
+	defer func() {
+		// Destroy counted local objects of the whole frame in reverse.
+		for i := len(f.locals) - 1; i >= 0; i-- {
+			m.destroyObject(f.locals[i])
+		}
+		if r := recover(); r != nil {
+			if cr, ok := r.(ctrlReturn); ok {
+				ret = cr.v
+				return
+			}
+			panic(r)
+		}
+	}()
+	m.execStmt(f, fn.Body)
+	return Value{K: KVoid}
+}
+
+// cloneObject produces an uncounted deep copy of src.
+func (m *Machine) cloneObject(src *Object) *Object {
+	dst := m.newObject(src.Class, false)
+	m.copyObject(dst, src)
+	return dst
+}
+
+// copyObject copies the member values of src into dst (same class).
+func (m *Machine) copyObject(dst, src *Object) {
+	for fld, sc := range src.Fields {
+		dc, ok := dst.Fields[fld]
+		if !ok {
+			continue
+		}
+		m.copyValueInto(dc, sc.V)
+	}
+}
+
+// copyValueInto stores v into cell, deep-copying class and array values so
+// distinct objects never share member storage.
+func (m *Machine) copyValueInto(cell *Cell, v Value) {
+	switch v.K {
+	case KObj:
+		if cell.V.K == KObj && cell.V.Obj != nil && v.Obj != nil {
+			m.copyObject(cell.V.Obj, v.Obj)
+			return
+		}
+		cell.V = v
+	case KArr:
+		if cell.V.K == KArr && len(cell.V.Arr) == len(v.Arr) {
+			for i, sc := range v.Arr {
+				m.copyValueInto(cell.V.Arr[i], sc.V)
+			}
+			return
+		}
+		cell.V = v
+	default:
+		cell.V = v
+	}
+}
+
+// storeInto assigns v to cell with class-aware copying.
+func (m *Machine) storeInto(cell *Cell, v Value) {
+	m.copyValueInto(cell, v)
+}

@@ -1,0 +1,299 @@
+package interp_test
+
+import (
+	"testing"
+)
+
+// Additional semantic edge cases, mostly around construction order,
+// virtual bases, dispatch, and value copying.
+
+func TestVirtualBaseInitArgsFromMostDerived(t *testing.T) {
+	// C++ semantics: the MOST DERIVED class's initializer for a virtual
+	// base wins; intermediate classes' initializers for it are ignored.
+	expectExit(t, `
+class V {
+public:
+	int v;
+	V(int a) : v(a) {}
+	V() : v(-1) {}
+};
+class L : public virtual V {
+public:
+	L() : V(100) {}   // ignored when L is not most derived
+};
+class R : public virtual V {
+public:
+	R() : V(200) {}   // ignored when R is not most derived
+};
+class D : public L, public R {
+public:
+	D() : V(42) {}    // this one runs
+};
+int main() {
+	D d;
+	L l;              // here L IS most derived: V(100)
+	return d.v == 42 && l.v == 100 ? 0 : 1;
+}`, 0)
+}
+
+func TestBaseMethodSeesDerivedOverride(t *testing.T) {
+	// A base method calling a virtual method dispatches to the override.
+	expectExit(t, `
+class Base {
+public:
+	virtual int step() { return 1; }
+	int total() { return step() * 10; }
+};
+class Derived : public Base {
+public:
+	virtual int step() { return 4; }
+};
+int main() {
+	Derived d;
+	return d.total();
+}`, 40)
+}
+
+func TestFieldHidingAtRuntime(t *testing.T) {
+	expectExit(t, `
+class B { public: int x; B() : x(1) {} };
+class D : public B {
+public:
+	int x;       // hides B::x
+	D() : x(2) {}
+};
+int main() {
+	D d;
+	return d.x * 10 + d.B::x;  // 2 and 1
+}`, 21)
+}
+
+func TestArraysInsideObjectsCopy(t *testing.T) {
+	expectExit(t, `
+class Buf {
+public:
+	int data[3];
+	Buf() { data[0] = 1; data[1] = 2; data[2] = 3; }
+};
+int main() {
+	Buf a;
+	Buf b = a;     // deep copy of the embedded array
+	b.data[0] = 9;
+	return a.data[0] * 10 + b.data[0];  // 1 and 9
+}`, 19)
+}
+
+func TestEmbeddedObjectCopyIsDeep(t *testing.T) {
+	expectExit(t, `
+class Inner { public: int v; Inner() : v(5) {} };
+class Outer { public: Inner in; };
+int main() {
+	Outer a;
+	Outer b = a;
+	b.in.v = 7;
+	return a.in.v * 10 + b.in.v;  // 5 and 7
+}`, 57)
+}
+
+func TestDeleteNullIsNoop(t *testing.T) {
+	expectExit(t, `
+class C { public: int x; };
+int main() {
+	C* p = nullptr;
+	delete p;       // no-op, as in C++
+	free(nullptr);  // also a no-op
+	return 0;
+}`, 0)
+}
+
+func TestMemberPointerThroughHierarchy(t *testing.T) {
+	expectExit(t, `
+class B { public: int common; B() : common(3) {} };
+class D : public B { public: int own; D() : own(4) {} };
+int main() {
+	int B::* pb = &B::common;
+	int D::* pd = pb;       // B::* converts to D::*
+	D d;
+	return d.*pd * 10 + d.*(&D::own);  // 3 and 4
+}`, 34)
+}
+
+func TestGlobalArrayAndGlobals(t *testing.T) {
+	expectExit(t, `
+int table[5];
+int fill() {
+	for (int i = 0; i < 5; i++) { table[i] = i * i; }
+	return table[4];
+}
+int cached = fill();
+int main() { return cached + table[2]; }`, 16+4)
+}
+
+func TestCharArithmetic(t *testing.T) {
+	expectExit(t, `
+int main() {
+	char c = 'A';
+	c = (char)(c + 1);
+	char d = 'z';
+	return c == 'B' && d - 'a' == 25 ? 0 : 1;
+}`, 0)
+}
+
+func TestDoubleTruncationAndPromotion(t *testing.T) {
+	expectExit(t, `
+int main() {
+	double d = 7.9;
+	int i = (int)d;           // truncates to 7
+	double half = 1 / 2.0;    // promotion: 0.5
+	return i * 10 + (half == 0.5 ? 1 : 0);
+}`, 71)
+}
+
+func TestShortCircuitEffects(t *testing.T) {
+	expectOutput(t, `
+int calls = 0;
+bool touch() { calls = calls + 1; return true; }
+int main() {
+	bool a = false && touch();  // touch not called
+	bool b = true || touch();   // touch not called
+	bool c = true && touch();   // called
+	print(calls);
+	return a || b || c ? 0 : 1;
+}`, "1")
+}
+
+func TestNestedLoopsBreakContinue(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int hits = 0;
+	for (int i = 0; i < 5; i++) {
+		for (int j = 0; j < 5; j++) {
+			if (j == 2) { break; }     // inner break only
+			if (j == 1) { continue; }  // inner continue
+			hits = hits + 1;
+		}
+	}
+	return hits;  // j==0 counted per i: 5
+}`, 5)
+}
+
+func TestBreakInSwitchInsideLoop(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int total = 0;
+	for (int i = 0; i < 4; i++) {
+		switch (i) {
+		case 0: total += 1; break;  // exits the switch, not the loop
+		case 1:
+		case 2: total += 10; break;
+		default: total += 100;
+		}
+	}
+	return total;  // 1 + 10 + 10 + 100
+}`, 121)
+}
+
+func TestRecursiveDataStructure(t *testing.T) {
+	expectExit(t, `
+class Node {
+public:
+	int v;
+	Node* next;
+	Node(int a, Node* n) : v(a), next(n) {}
+};
+int sum(Node* n) {
+	if (n == nullptr) { return 0; }
+	return n->v + sum(n->next);
+}
+int main() {
+	Node* list = nullptr;
+	for (int i = 1; i <= 10; i++) { list = new Node(i, list); }
+	int total = sum(list);
+	while (list != nullptr) {
+		Node* next = list->next;
+		delete list;
+		list = next;
+	}
+	return total;
+}`, 55)
+}
+
+func TestVoidPointerRoundTrip(t *testing.T) {
+	expectExit(t, `
+class C { public: int tag; C() : tag(77) {} };
+int main() {
+	C* c = new C();
+	void* v = (void*)c;
+	C* back = (C*)v;
+	int r = back->tag;
+	delete back;
+	return r;
+}`, 77)
+}
+
+func TestDestructorRunsOnEarlyReturn(t *testing.T) {
+	expectOutput(t, `
+class Guard {
+public:
+	int id;
+	Guard(int i) : id(i) {}
+	~Guard() { print(id); }
+};
+int f(bool early) {
+	Guard a(1);
+	if (early) {
+		Guard b(2);
+		return 0; // b then a destroyed
+	}
+	return 1;
+}
+int main() {
+	f(true);
+	print("|");
+	return 0;
+}`, "21|")
+}
+
+func TestStaticTypeNarrowingThroughUpcast(t *testing.T) {
+	// Virtual dispatch through an upcast pointer still reaches the
+	// derived override; non-virtual methods bind statically.
+	expectExit(t, `
+class A {
+public:
+	virtual int v() { return 1; }
+	int s() { return 10; }
+};
+class B : public A {
+public:
+	virtual int v() { return 2; }
+	int s() { return 20; }
+};
+int main() {
+	B b;
+	A* p = &b;
+	return p->v() * 100 + p->s();  // 2 and 10
+}`, 210)
+}
+
+func TestClockAndAbortBuiltins(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int before = clock();
+	int x = 0;
+	for (int i = 0; i < 10; i++) { x += i; }
+	int after = clock();
+	return after > before ? 0 : 1;
+}`, 0)
+}
+
+func TestModuloAndShift(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int a = 17 % 5;       // 2
+	int b = 1 << 4;       // 16
+	int c = 256 >> 3;     // 32
+	int d = (6 & 3) | 8;  // 2|8 = 10
+	int e = 5 ^ 1;        // 4
+	return a + b + c + d + e;  // 64
+}`, 64)
+}

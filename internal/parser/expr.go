@@ -1,0 +1,319 @@
+package parser
+
+import (
+	"strconv"
+
+	"deadmembers/internal/ast"
+	"deadmembers/internal/lexer"
+	"deadmembers/internal/token"
+)
+
+// parseExpr parses a full expression (lowest precedence: assignment).
+// MC++ has no comma operator; commas separate arguments only.
+func (p *Parser) parseExpr() ast.Expr { return p.parseAssignExpr() }
+
+// parseAssignExpr parses assignment (right-associative) and below.
+func (p *Parser) parseAssignExpr() ast.Expr {
+	lhs := p.parseCondExpr()
+	if p.kind().IsAssignOp() {
+		op := p.next()
+		rhs := p.parseAssignExpr()
+		a := &ast.Assign{Op: op.Kind, LHS: lhs, RHS: rhs}
+		setPos(a, lhs.Pos())
+		return a
+	}
+	return lhs
+}
+
+// parseCondExpr parses the ternary conditional and below.
+func (p *Parser) parseCondExpr() ast.Expr {
+	cond := p.parseBinaryExpr(1)
+	if !p.at(token.Question) {
+		return cond
+	}
+	p.next()
+	then := p.parseAssignExpr()
+	p.expect(token.Colon)
+	els := p.parseAssignExpr()
+	c := &ast.Cond{C: cond, Then: then, Else: els}
+	setPos(c, cond.Pos())
+	return c
+}
+
+// parseBinaryExpr implements precedence climbing for binary operators.
+func (p *Parser) parseBinaryExpr(minPrec int) ast.Expr {
+	lhs := p.parseUnaryExpr()
+	for {
+		prec := p.kind().Precedence()
+		if prec < minPrec || prec == 0 {
+			return lhs
+		}
+		op := p.next()
+		rhs := p.parseBinaryExpr(prec + 1)
+		b := &ast.Binary{Op: op.Kind, X: lhs, Y: rhs}
+		setPos(b, lhs.Pos())
+		lhs = b
+	}
+}
+
+// parseUnaryExpr parses prefix operators, casts, new/delete, and sizeof.
+func (p *Parser) parseUnaryExpr() ast.Expr {
+	start := p.cur().Pos
+	switch p.kind() {
+	case token.Minus, token.Not, token.Tilde, token.Star, token.Inc, token.Dec:
+		op := p.next()
+		x := p.parseUnaryExpr()
+		u := &ast.Unary{Op: op.Kind, X: x}
+		setPos(u, start)
+		return u
+	case token.Amp:
+		p.next()
+		// `&C::m` forms a pointer-to-member constant.
+		if p.at(token.Ident) && p.peek(1).Kind == token.Scope && p.peek(2).Kind == token.Ident {
+			cls := p.next()
+			p.next()
+			name := p.next()
+			qi := &ast.QualifiedIdent{Class: cls.Text, Name: name.Text}
+			setPos(qi, cls.Pos)
+			u := &ast.Unary{Op: token.Amp, X: qi}
+			setPos(u, start)
+			return u
+		}
+		x := p.parseUnaryExpr()
+		u := &ast.Unary{Op: token.Amp, X: x}
+		setPos(u, start)
+		return u
+	case token.KwNew:
+		return p.parseNew()
+	case token.KwDelete:
+		p.next()
+		d := &ast.Delete{}
+		setPos(d, start)
+		if p.accept(token.LBracket) {
+			p.expect(token.RBracket)
+			d.Array = true
+		}
+		d.X = p.parseUnaryExpr()
+		return d
+	case token.KwSizeof:
+		return p.parseSizeof()
+	case token.LParen:
+		// Cast `(T)e` vs parenthesized expression.
+		if p.isCastStart() {
+			lp := p.next()
+			typ := p.parseType()
+			p.expect(token.RParen)
+			x := p.parseUnaryExpr()
+			c := &ast.Cast{Type: typ, X: x}
+			setPos(c, lp.Pos)
+			return c
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+// isCastStart reports whether the cursor sits at `(` beginning a C-style
+// cast rather than a parenthesized expression. The content must start a
+// type and the matching `)` must be followed by a cast operand.
+func (p *Parser) isCastStart() bool {
+	if !p.at(token.LParen) {
+		return false
+	}
+	save := p.pos
+	defer func() { p.pos = save }()
+	p.next()
+	if !p.startsType() {
+		return false
+	}
+	// A class name followed by `::` that is not a member-pointer declarator
+	// is an expression like (C::m).
+	p.parseTypeSilently()
+	return p.at(token.RParen)
+}
+
+// parseTypeSilently advances over a type without emitting diagnostics.
+func (p *Parser) parseTypeSilently() {
+	saved := p.panick
+	p.panick = true // suppress diagnostics during speculation
+	p.parseType()
+	p.panick = saved
+}
+
+// parseNew parses `new T(args)`, `new T[len]`.
+func (p *Parser) parseNew() ast.Expr {
+	kw := p.next()
+	n := &ast.New{}
+	setPos(n, kw.Pos)
+	n.Type = p.parseType()
+	if p.accept(token.LBracket) {
+		n.Len = p.parseExpr()
+		p.expect(token.RBracket)
+		return n
+	}
+	if p.accept(token.LParen) {
+		if !p.at(token.RParen) {
+			n.Args = append(n.Args, p.parseAssignExpr())
+			for p.accept(token.Comma) {
+				n.Args = append(n.Args, p.parseAssignExpr())
+			}
+		}
+		p.expect(token.RParen)
+	}
+	return n
+}
+
+// parseSizeof parses `sizeof(T)`, `sizeof(expr)`, or `sizeof expr`.
+func (p *Parser) parseSizeof() ast.Expr {
+	kw := p.next()
+	s := &ast.Sizeof{}
+	setPos(s, kw.Pos)
+	if p.at(token.LParen) {
+		save := p.pos
+		p.next()
+		if p.startsType() {
+			p.parseTypeSilently()
+			if p.at(token.RParen) {
+				p.pos = save
+				p.next()
+				s.Type = p.parseType()
+				p.expect(token.RParen)
+				return s
+			}
+		}
+		p.pos = save
+	}
+	s.X = p.parseUnaryExpr()
+	return s
+}
+
+// parsePostfixExpr parses a primary expression followed by postfix
+// operators: member access, calls, indexing, ++/--, .* and ->*.
+func (p *Parser) parsePostfixExpr() ast.Expr {
+	x := p.parsePrimaryExpr()
+	for {
+		start := p.cur().Pos
+		switch p.kind() {
+		case token.Dot, token.Arrow:
+			op := p.next()
+			m := &ast.Member{X: x, Arrow: op.Kind == token.Arrow}
+			setPos(m, start)
+			name := p.expect(token.Ident)
+			if p.at(token.Scope) {
+				p.next()
+				m.Qual = name.Text
+				name = p.expect(token.Ident)
+			}
+			m.Name = name.Text
+			x = m
+		case token.DotStar, token.ArrowStar:
+			op := p.next()
+			ptr := p.parseUnaryExpr()
+			d := &ast.MemberPtrDeref{X: x, Arrow: op.Kind == token.ArrowStar, Ptr: ptr}
+			setPos(d, start)
+			x = d
+		case token.LBracket:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBracket)
+			ix := &ast.Index{X: x, I: idx}
+			setPos(ix, start)
+			x = ix
+		case token.LParen:
+			p.next()
+			c := &ast.Call{Fun: x}
+			setPos(c, x.Pos())
+			if !p.at(token.RParen) {
+				c.Args = append(c.Args, p.parseAssignExpr())
+				for p.accept(token.Comma) {
+					c.Args = append(c.Args, p.parseAssignExpr())
+				}
+			}
+			p.expect(token.RParen)
+			x = c
+		case token.Inc, token.Dec:
+			op := p.next()
+			pf := &ast.Postfix{Op: op.Kind, X: x}
+			setPos(pf, start)
+			x = pf
+		default:
+			return x
+		}
+	}
+}
+
+// parsePrimaryExpr parses literals, names, `this`, and parenthesized
+// expressions.
+func (p *Parser) parsePrimaryExpr() ast.Expr {
+	start := p.cur().Pos
+	switch p.kind() {
+	case token.IntLit:
+		t := p.next()
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			p.errorf("invalid integer literal %s", t.Text)
+		}
+		e := &ast.IntLit{Value: v}
+		setPos(e, start)
+		return e
+	case token.FloatLit:
+		t := p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			p.errorf("invalid floating literal %s", t.Text)
+		}
+		e := &ast.FloatLit{Value: v}
+		setPos(e, start)
+		return e
+	case token.CharLit:
+		t := p.next()
+		e := &ast.CharLit{Value: lexer.UnquoteChar(t.Text)}
+		setPos(e, start)
+		return e
+	case token.StringLit:
+		t := p.next()
+		e := &ast.StringLit{Value: lexer.UnquoteString(t.Text)}
+		setPos(e, start)
+		return e
+	case token.KwTrue, token.KwFalse:
+		t := p.next()
+		e := &ast.BoolLit{Value: t.Kind == token.KwTrue}
+		setPos(e, start)
+		return e
+	case token.KwNullptr:
+		p.next()
+		e := &ast.NullLit{}
+		setPos(e, start)
+		return e
+	case token.KwThis:
+		p.next()
+		e := &ast.ThisExpr{}
+		setPos(e, start)
+		return e
+	case token.Ident:
+		t := p.next()
+		if p.at(token.Scope) && p.peek(1).Kind == token.Ident {
+			p.next()
+			name := p.next()
+			qi := &ast.QualifiedIdent{Class: t.Text, Name: name.Text}
+			setPos(qi, start)
+			return qi
+		}
+		e := &ast.Ident{Name: t.Text}
+		setPos(e, start)
+		return e
+	case token.LParen:
+		p.next()
+		inner := p.parseExpr()
+		p.expect(token.RParen)
+		e := &ast.Paren{X: inner}
+		setPos(e, start)
+		return e
+	}
+	p.errorf("expected expression, found %s", p.cur())
+	e := &ast.IntLit{Value: 0}
+	setPos(e, start)
+	if !p.at(token.EOF) && !p.at(token.Semicolon) && !p.at(token.RBrace) && !p.at(token.RParen) {
+		p.next() // consume the offending token to guarantee progress
+	}
+	return e
+}

@@ -1,0 +1,20 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders the measured results as comma-separated values with a
+// header row, for downstream tooling.
+func CSV(results []*BenchmarkResult) string {
+	var b strings.Builder
+	b.WriteString("benchmark,loc,classes,used_classes,members,dead_members,dead_percent," +
+		"object_space,dead_space,high_water,high_water_wo_dead,dyn_dead_percent,hwm_reduction_percent\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%.2f,%.2f\n",
+			r.Name, r.LOC, r.Classes, r.UsedClasses, r.Members, r.DeadMembers, r.DeadPercent,
+			r.ObjectSpace, r.DeadSpace, r.HighWater, r.HighWaterWo, r.DynDeadPercent, r.HWMReduction)
+	}
+	return b.String()
+}

@@ -1,0 +1,269 @@
+// Package report runs the full evaluation pipeline over the benchmark
+// corpus and renders the paper's exhibits: Table 1 (benchmark
+// characteristics), Figure 3 (static dead-member percentages), Table 2
+// (dynamic byte counts), Figure 4 (dead object space and high-water-mark
+// reduction), the headline summary, and the ablation studies.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"deadmembers/internal/bench"
+	"deadmembers/internal/callgraph"
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/dynprof"
+	"deadmembers/internal/frontend"
+)
+
+// BenchmarkResult is everything measured for one corpus benchmark.
+type BenchmarkResult struct {
+	Name        string
+	Description string
+	Paper       bench.PaperRow
+
+	// Static (Table 1 / Figure 3).
+	LOC         int
+	Classes     int
+	UsedClasses int
+	Members     int
+	DeadMembers int
+	DeadPercent float64
+
+	// Dynamic (Table 2 / Figure 4).
+	ObjectSpace    int64
+	DeadSpace      int64
+	HighWater      int64
+	HighWaterWo    int64
+	DynDeadPercent float64
+	HWMReduction   float64
+}
+
+// Collect runs analysis and instrumented execution for one benchmark.
+func Collect(b *bench.Benchmark) (*BenchmarkResult, error) {
+	r := frontend.Compile(b.Sources...)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	res := deadmember.Analyze(r.Program, r.Graph, deadmember.Options{CallGraph: callgraph.RTA})
+	prof, err := dynprof.Run(res, dynprof.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	s := res.Stats()
+	l := prof.Ledger
+	return &BenchmarkResult{
+		Name:        b.Name,
+		Description: b.Description,
+		Paper:       b.Paper,
+		LOC:         r.FileSet.TotalCodeLines(),
+		Classes:     s.Classes,
+		UsedClasses: s.UsedClasses,
+		Members:     s.Members,
+		DeadMembers: s.DeadMembers,
+		DeadPercent: s.DeadPercent(),
+
+		ObjectSpace:    l.TotalBytes,
+		DeadSpace:      l.DeadBytes,
+		HighWater:      l.HighWater,
+		HighWaterWo:    l.AdjustedHighWater,
+		DynDeadPercent: l.DeadPercent(),
+		HWMReduction:   l.HighWaterReductionPercent(),
+	}, nil
+}
+
+// CollectAll measures the whole corpus in presentation order.
+func CollectAll() ([]*BenchmarkResult, error) {
+	var out []*BenchmarkResult
+	for _, b := range bench.All() {
+		r, err := Collect(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Table1 renders the benchmark characteristics table (paper Table 1),
+// with the paper's values alongside ours.
+func Table1(results []*BenchmarkResult) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Benchmark programs (measured | paper)\n")
+	b.WriteString("benchmark   description                                        LOC          classes(used)       members\n")
+	b.WriteString(strings.Repeat("-", 110) + "\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-11s %-48s %6d|%6d  %4d(%4d)|%4d(%4d)  %5d|%5d\n",
+			r.Name, truncate(r.Description, 48),
+			r.LOC, r.Paper.LOC,
+			r.Classes, r.UsedClasses, r.Paper.Classes, r.Paper.UsedClasses,
+			r.Members, r.Paper.Members)
+	}
+	return b.String()
+}
+
+// Figure3 renders the static dead-member percentages as a bar chart
+// (paper Figure 3).
+func Figure3(results []*BenchmarkResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: Percentage of dead data members in used classes\n")
+	b.WriteString("(#### measured, caret marks the paper-calibrated target)\n\n")
+	const scale = 2.0 // columns per percent
+	for _, r := range results {
+		bar := strings.Repeat("#", int(r.DeadPercent*scale+0.5))
+		fmt.Fprintf(&b, "%-10s |%-60s %5.1f%%  (dead %d of %d)\n",
+			r.Name, bar, r.DeadPercent, r.DeadMembers, r.Members)
+		caret := int(r.Paper.DeadPercent*scale + 0.5)
+		if caret > 0 {
+			fmt.Fprintf(&b, "%-10s |%s^ %.1f%% target\n", "", strings.Repeat(" ", caret), r.Paper.DeadPercent)
+		}
+	}
+	return b.String()
+}
+
+// Table2 renders the dynamic execution characteristics (paper Table 2).
+func Table2(results []*BenchmarkResult) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Execution characteristics, bytes (measured; paper values in parentheses)\n")
+	fmt.Fprintf(&b, "%-10s %22s %22s %22s %26s\n",
+		"benchmark", "object space", "dead member space", "high water mark", "HWM w/o dead members")
+	b.WriteString(strings.Repeat("-", 108) + "\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %10d (%9d) %10d (%9d) %10d (%9d) %12d (%9d)%s\n",
+			r.Name,
+			r.ObjectSpace, r.Paper.ObjectSpace,
+			r.DeadSpace, r.Paper.DeadSpace,
+			r.HighWater, r.Paper.HighWater,
+			r.HighWaterWo, r.Paper.HighWaterWo,
+			approxMark(r.Paper.Approx))
+	}
+	return b.String()
+}
+
+func approxMark(approx bool) string {
+	if approx {
+		return " ~"
+	}
+	return ""
+}
+
+// Figure4 renders the dynamic percentages as paired bars (paper Figure 4):
+// the light bar (=) is the percentage of object space occupied by dead
+// members; the dark bar (#) is the high-water-mark reduction.
+func Figure4(results []*BenchmarkResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: Percentage of object space occupied by dead data members\n")
+	b.WriteString("(==== dead share of all object bytes, #### reduction of the high water mark)\n\n")
+	const scale = 4.0
+	for _, r := range results {
+		light := strings.Repeat("=", int(r.DynDeadPercent*scale+0.5))
+		dark := strings.Repeat("#", int(r.HWMReduction*scale+0.5))
+		fmt.Fprintf(&b, "%-10s |%-50s %5.2f%%\n", r.Name, light, r.DynDeadPercent)
+		fmt.Fprintf(&b, "%-10s |%-50s %5.2f%%\n", "", dark, r.HWMReduction)
+	}
+	return b.String()
+}
+
+// Summary renders the paper's headline numbers next to ours.
+type SummaryStats struct {
+	AvgDeadPercent float64 // over the nine non-trivial benchmarks
+	MaxDeadPercent float64
+	AvgDynPercent  float64
+	MaxDynPercent  float64
+	AvgHWMPercent  float64
+}
+
+// Summarize computes the headline statistics the paper's abstract quotes.
+func Summarize(results []*BenchmarkResult) SummaryStats {
+	var s SummaryStats
+	n := 0
+	for _, r := range results {
+		if r.Name == "richards" || r.Name == "deltablue" {
+			continue
+		}
+		n++
+		s.AvgDeadPercent += r.DeadPercent
+		s.AvgDynPercent += r.DynDeadPercent
+		s.AvgHWMPercent += r.HWMReduction
+		if r.DeadPercent > s.MaxDeadPercent {
+			s.MaxDeadPercent = r.DeadPercent
+		}
+		if r.DynDeadPercent > s.MaxDynPercent {
+			s.MaxDynPercent = r.DynDeadPercent
+		}
+	}
+	if n > 0 {
+		s.AvgDeadPercent /= float64(n)
+		s.AvgDynPercent /= float64(n)
+		s.AvgHWMPercent /= float64(n)
+	}
+	return s
+}
+
+// StaticDynamicCorrelation computes the Pearson correlation between the
+// static dead-member percentage (Figure 3) and the dynamic dead-space
+// percentage (Figure 4) over the non-trivial benchmarks. The paper's §4.3
+// observes that there is "no strong correlation" between the two —
+// classes with many dead members may be instantiated rarely.
+func StaticDynamicCorrelation(results []*BenchmarkResult) float64 {
+	var xs, ys []float64
+	for _, r := range results {
+		if r.Name == "richards" || r.Name == "deltablue" {
+			continue
+		}
+		xs = append(xs, r.DeadPercent)
+		ys = append(ys, r.DynDeadPercent)
+	}
+	return pearson(xs, ys)
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Summary renders Summarize against the paper's abstract.
+func Summary(results []*BenchmarkResult) string {
+	s := Summarize(results)
+	var b strings.Builder
+	b.WriteString("Headline numbers (nine non-trivial benchmarks)        measured   paper\n")
+	b.WriteString(strings.Repeat("-", 72) + "\n")
+	fmt.Fprintf(&b, "dead data members, average                             %6.1f%%   12.5%%\n", s.AvgDeadPercent)
+	fmt.Fprintf(&b, "dead data members, maximum                             %6.1f%%   27.3%%\n", s.MaxDeadPercent)
+	fmt.Fprintf(&b, "object space occupied by dead members, average         %6.1f%%    4.4%%\n", s.AvgDynPercent)
+	fmt.Fprintf(&b, "object space occupied by dead members, maximum         %6.1f%%   11.6%%\n", s.MaxDynPercent)
+	fmt.Fprintf(&b, "high water mark reduction, average                     %6.1f%%    4.9%%\n", s.AvgHWMPercent)
+	fmt.Fprintf(&b, "\nstatic vs dynamic dead%% correlation: %+.2f — the paper's §4.3 notes\n",
+		StaticDynamicCorrelation(results))
+	b.WriteString("\"no strong correlation\": classes with dead members are often\n")
+	b.WriteString("instantiated infrequently.\n")
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,183 @@
+package sema_test
+
+import (
+	"testing"
+
+	"deadmembers/internal/types"
+)
+
+func TestUnaryOperatorErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"minus on pointer", `int main() { int* p = nullptr; p = -p; return 0; }`, "arithmetic operand"},
+		{"tilde on double", `int main() { double d = 1.0; return ~d; }`, "integral operand"},
+		{"inc on class", `class A { public: int x; }; int main() { A a; ++a; return 0; }`, "arithmetic or pointer"},
+		{"postfix on rvalue", `int main() { int x = 1; (x + 1)++; return x; }`, "not an lvalue"},
+		{"not on class", `class A { public: int x; }; int main() { A a; return !a; }`, "scalar operand"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkErr(t, tc.src, tc.want) })
+	}
+}
+
+func TestBinaryOperatorErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"class plus int", `class A { public: int x; }; int main() { A a; return a + 1; }`, "arithmetic operands"},
+		{"pointer minus unrelated", `int main() { int* p = nullptr; double* q = nullptr; int d = p - q; return d; }`, "pointer arithmetic"},
+		{"shift double", `int main() { double d = 1.0; return 1 << d; }`, "integral operands"},
+		{"compare class", `class A { public: int x; }; int main() { A a; A b; return a == b ? 0 : 1; }`, "cannot compare"},
+		{"order pointer and int", `int main() { int* p = nullptr; return p < 5 ? 0 : 1; }`, "cannot order"},
+		{"logical on class", `class A { public: int x; }; int main() { A a; return a && true ? 1 : 0; }`, "scalar operands"},
+		{"compare unrelated ptrs", `class A { public: int a; }; class B { public: int b; };
+			int main() { A* pa = nullptr; B* pb = nullptr; return pa == pb ? 0 : 1; }`, "cannot compare"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkErr(t, tc.src, tc.want) })
+	}
+}
+
+func TestTernaryMerging(t *testing.T) {
+	// Compatible merges.
+	check(t, `
+class A { public: int x; };
+class B : public A { public: int y; };
+int main() {
+	bool c = true;
+	double d = c ? 1 : 2.5;           // arithmetic merge -> double
+	A a; B b;
+	A* p = c ? (A*)&a : (A*)&b;       // same pointer type
+	A* q = c ? &a : nullptr;          // null merges with any pointer
+	void* v = c ? (void*)&a : nullptr;
+	return (int)d + (p == q ? 0 : 1) + (v != nullptr ? 0 : 1);
+}`)
+	// Incompatible merge.
+	checkErr(t, `
+class A { public: int x; };
+int main() { bool c = true; A a; int i = 0; return c ? a : i; }`, "incompatible operands")
+}
+
+func TestMemberAccessErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"dot on pointer", `class A { public: int x; }; int main() { A* p = nullptr; return p.x; }`, "member access on non-class"},
+		{"arrow on class", `class A { public: int x; }; int main() { A a; return a->x; }`, "requires a pointer"},
+		{"qual not a base", `class A { public: int x; }; class B { public: int y; };
+			int main() { A a; return a.B::y; }`, "not a base"},
+		{"unknown qual", `class A { public: int x; }; int main() { A a; return a.Nope::x; }`, "unknown class"},
+		{"memberptr on wrong side", `class A { public: int x; }; int main() { int i = 1; int A::* pm = &A::x; return i.*pm; }`, "requires a class receiver"},
+		{"deref non-memberptr", `class A { public: int x; }; int main() { A a; int i = 0; return a.*i; }`, "pointer-to-member operand"},
+		{"unknown ptm class", `int main() { int* pm = &Nowhere::x; return 0; }`, "unknown class"},
+		{"unknown ptm member", `class A { public: int x; }; int main() { int A::* pm = &A::nope; return 0; }`, "no member named"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkErr(t, tc.src, tc.want) })
+	}
+}
+
+func TestNewDeleteErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"new void", `int main() { void* p = new void; return 0; }`, "cannot allocate void"},
+		{"array size class", `class A { public: int x; }; int main() { A a; int* p = new int[a]; return 0; }`, "must be integral"},
+		{"delete non-pointer", `int main() { int x = 1; delete x; return 0; }`, "pointer operand"},
+		{"new class bad arity", `class A { public: A(int v) { x = v; } int x; }; int main() { A* p = new A(); return 0; }`, "no 0-argument constructor"},
+		{"scalar new extra args", `int main() { int* p = new int(1, 2); return *p; }`, "at most one initializer"},
+		{"new init mismatch", `class A { public: int x; }; int main() { int* p = new int(new A()); return 0; }`, "cannot initialize"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkErr(t, tc.src, tc.want) })
+	}
+}
+
+func TestCastRules(t *testing.T) {
+	check(t, `
+class A { public: int x; };
+int main() {
+	double d = (double)3;
+	int i = (int)d;
+	char c = (char)i;
+	bool b = (bool)c;
+	A* p = (A*)0;
+	void* v = (void*)p;
+	int addr = (int)v;       // pointer -> integer reinterpretation
+	int* q = (int*)addr;     // and back
+	return b && q == nullptr ? i : 0;
+}`)
+	checkErr(t, `class A { public: int x; }; int main() { A a; int i = (int)a; return i; }`, "invalid cast")
+	checkErr(t, `class A { public: int x; }; int main() { int i = 0; A a2 = (A)i; return 0; }`, "invalid cast")
+}
+
+func TestVirtualBaseCtorInit(t *testing.T) {
+	// A most-derived class may (and must be allowed to) name a virtual
+	// grand-base in its initializer list.
+	r := check(t, `
+class V { public: int v; V(int a) : v(a) {} V() : v(0) {} };
+class M : public virtual V { public: M() : V(1) {} };
+class D : public M { public: D() : V(9) {} };
+int main() { D d; return d.v; }
+`)
+	d := r.Program.ClassByName["D"]
+	if d == nil || len(d.Ctors()) != 1 {
+		t.Fatal("D ctor missing")
+	}
+	// Non-base, non-member name in init list still rejected.
+	checkErr(t, `
+class Other { public: int o; };
+class A { public: int x; A() : Other(1) {} };
+int main() { A a; return a.x; }`, "neither a member nor a base")
+}
+
+func TestConstArrayLengths(t *testing.T) {
+	r := check(t, `
+class A {
+public:
+	int a[2 + 3];
+	int b[4 * 2];
+	int c[10 - 2];
+	int d[6 / 2];
+	char e['z' - 'a'];
+};
+int main() { A x; return sizeof(A); }
+`)
+	a := r.Program.ClassByName["A"]
+	wantLens := map[string]int{"a": 5, "b": 8, "c": 8, "d": 3, "e": 25}
+	for name, want := range wantLens {
+		f := a.FieldByName(name)
+		arr, ok := f.Type.(*types.Array)
+		if !ok || arr.Len != want {
+			t.Errorf("field %s: type %v, want array of %d", name, f.Type, want)
+		}
+	}
+	checkErr(t, `int main() { int n = 3; int a[n]; return 0; }`, "positive integer constant")
+	checkErr(t, `int main() { int a[1/0]; return 0; }`, "positive integer constant")
+}
+
+func TestGlobalDeclarations(t *testing.T) {
+	r := check(t, `
+class Cfg { public: int port; Cfg(int p) : port(p) {} };
+int limit = 10;
+double rate = 0.5;
+Cfg cfg(8080);
+int table[4];
+int main() { return limit + cfg.port + table[0] + (int)rate; }
+`)
+	if len(r.Program.Globals) != 4 {
+		t.Fatalf("globals = %d, want 4", len(r.Program.Globals))
+	}
+	if r.Program.Info.VarCtors == nil {
+		t.Fatal("VarCtors missing")
+	}
+}
+
+func TestPointerArithmeticTyping(t *testing.T) {
+	check(t, `
+int main() {
+	int a[10];
+	int* p = &a[0];
+	int* q = p + 3;
+	q = 2 + q;
+	q = q - 1;
+	int d = q - p;
+	p += 1;
+	p -= 1;
+	return d;
+}`)
+	checkErr(t, `int main() { int* p = nullptr; p = p + 1.5; return 0; }`, "invalid pointer arithmetic")
+}

@@ -1,0 +1,142 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFilePositions(t *testing.T) {
+	f := NewFile("a.mcc", "abc\ndef\n\nxyz")
+	cases := []struct {
+		off       int
+		line, col int
+	}{
+		{0, 1, 1}, {2, 1, 3}, {3, 1, 4}, {4, 2, 1}, {7, 2, 4},
+		{8, 3, 1}, {9, 4, 1}, {11, 4, 3},
+	}
+	for _, tc := range cases {
+		loc := f.Position(f.Pos(tc.off))
+		if loc.Line != tc.line || loc.Column != tc.col {
+			t.Errorf("offset %d: got %d:%d, want %d:%d", tc.off, loc.Line, loc.Column, tc.line, tc.col)
+		}
+	}
+	if got := f.LineCount(); got != 4 {
+		t.Errorf("line count = %d, want 4", got)
+	}
+	if got := f.Line(2); got != "def" {
+		t.Errorf("line 2 = %q, want def", got)
+	}
+	if got := f.Line(3); got != "" {
+		t.Errorf("line 3 = %q, want empty", got)
+	}
+}
+
+func TestPositionRoundTrip(t *testing.T) {
+	content := "line one\nsecond line here\n\nfourth"
+	f := NewFile("t", content)
+	check := func(off uint16) bool {
+		o := int(off) % (len(content) + 1)
+		p := f.Pos(o)
+		return f.Offset(p) == o && f.Contains(p)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidPositions(t *testing.T) {
+	f := NewFile("t", "abc")
+	if loc := f.Position(NoPos); loc.IsValid() {
+		t.Error("NoPos should resolve to invalid location")
+	}
+	if loc := f.Position(Pos(1000)); loc.IsValid() {
+		t.Error("out-of-file Pos should resolve to invalid location")
+	}
+	if loc := (Location{}); loc.String() != "-" {
+		t.Errorf("invalid location renders %q, want -", loc.String())
+	}
+}
+
+func TestCodeLineCount(t *testing.T) {
+	src := `// header comment
+int x; // trailing comment
+
+/* block
+   comment spanning lines */
+int y;
+/* inline */ int z;
+
+`
+	f := NewFile("t", src)
+	if got := f.CodeLineCount(); got != 3 {
+		t.Errorf("code lines = %d, want 3 (x, y, z)", got)
+	}
+}
+
+func TestFileSetMultipleFiles(t *testing.T) {
+	fs := NewFileSet()
+	a := fs.AddFile("a", "aaa")
+	b := fs.AddFile("b", "bbbbb")
+	if fs.FileFor(a.Pos(1)) != a {
+		t.Error("pos in a resolved to wrong file")
+	}
+	if fs.FileFor(b.Pos(4)) != b {
+		t.Error("pos in b resolved to wrong file")
+	}
+	loc := fs.Position(b.Pos(0))
+	if loc.File != "b" || loc.Line != 1 || loc.Column != 1 {
+		t.Errorf("unexpected location %v", loc)
+	}
+	if got := len(fs.Files()); got != 2 {
+		t.Errorf("file count = %d", got)
+	}
+	if fs.FileFor(NoPos) != nil {
+		t.Error("NoPos should not resolve to a file")
+	}
+}
+
+func TestDiagnosticList(t *testing.T) {
+	fs := NewFileSet()
+	f := fs.AddFile("x.mcc", "hello\nworld")
+	dl := NewDiagnosticList(fs)
+	dl.Warningf(f.Pos(0), "watch out")
+	if dl.HasErrors() {
+		t.Error("warning should not count as error")
+	}
+	dl.Errorf(f.Pos(6), "bad %s", "thing")
+	if !dl.HasErrors() || dl.ErrorCount() != 1 {
+		t.Errorf("error count = %d, want 1", dl.ErrorCount())
+	}
+	out := dl.String()
+	if !strings.Contains(out, "x.mcc:1:1: warning: watch out") {
+		t.Errorf("missing warning line in %q", out)
+	}
+	if !strings.Contains(out, "x.mcc:2:1: error: bad thing") {
+		t.Errorf("missing error line in %q", out)
+	}
+	if err := dl.Err(); err == nil || !strings.Contains(err.Error(), "1 error(s)") {
+		t.Errorf("Err() = %v", err)
+	}
+	if len(dl.All()) != 2 {
+		t.Errorf("All() length = %d", len(dl.All()))
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Note.String() != "note" || Warning.String() != "warning" || Error.String() != "error" {
+		t.Error("severity names wrong")
+	}
+	if Severity(99).String() == "" {
+		t.Error("unknown severity should still render")
+	}
+}
+
+func TestTotalCodeLines(t *testing.T) {
+	fs := NewFileSet()
+	fs.AddFile("a", "int x;\n// only comment\nint y;")
+	fs.AddFile("b", "int z;")
+	if got := fs.TotalCodeLines(); got != 3 {
+		t.Errorf("total code lines = %d, want 3", got)
+	}
+}

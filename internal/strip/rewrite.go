@@ -1,0 +1,187 @@
+package strip
+
+import (
+	"deadmembers/internal/ast"
+	"deadmembers/internal/token"
+	"deadmembers/internal/types"
+)
+
+// rewrite mutates the ASTs: removes declarations and transforms the
+// statements that referenced stripped members.
+func (s *stripper) rewrite() {
+	deadDecls := map[*ast.FieldDecl]bool{}
+	for f, ok := range s.strippable {
+		if ok && f.Decl != nil {
+			deadDecls[f.Decl] = true
+		}
+	}
+	removedMethodDecls := map[ast.Node]bool{}
+	for fn := range s.removedFuncs {
+		if fn.Decl != nil {
+			removedMethodDecls[fn.Decl] = true
+		}
+	}
+
+	for _, file := range s.res.Program.Files {
+		kept := file.Decls[:0]
+		for _, d := range file.Decls {
+			switch x := d.(type) {
+			case *ast.FuncDecl:
+				if removedMethodDecls[ast.Node(x)] {
+					continue
+				}
+			case *ast.ClassDecl:
+				s.rewriteClass(x, deadDecls, removedMethodDecls)
+			}
+			kept = append(kept, d)
+		}
+		file.Decls = kept
+	}
+
+	// Rewrite all surviving function bodies.
+	for _, fn := range s.res.Program.AllFuncs() {
+		if fn.Body == nil || s.removedFuncs[fn] {
+			continue
+		}
+		if fn.IsCtor {
+			s.rewriteCtorInits(fn)
+		}
+		s.rewriteBlock(fn.Body)
+	}
+}
+
+func (s *stripper) rewriteClass(cd *ast.ClassDecl, deadDecls map[*ast.FieldDecl]bool, removedMethods map[ast.Node]bool) {
+	fields := cd.Fields[:0]
+	for _, f := range cd.Fields {
+		if !deadDecls[f] {
+			fields = append(fields, f)
+		}
+	}
+	cd.Fields = fields
+
+	methods := cd.Methods[:0]
+	for _, m := range cd.Methods {
+		if !removedMethods[ast.Node(m)] {
+			methods = append(methods, m)
+		}
+	}
+	cd.Methods = methods
+}
+
+// rewriteCtorInits drops initializer entries targeting stripped members;
+// effectful argument expressions are hoisted to the front of the body.
+func (s *stripper) rewriteCtorInits(fn *types.Func) {
+	md, ok := fn.Decl.(*ast.MethodDecl)
+	if !ok {
+		return
+	}
+	var hoisted []ast.Stmt
+	kept := md.Inits[:0]
+	for i := range md.Inits {
+		init := &md.Inits[i]
+		fld := s.info.CtorInitFields[init]
+		if fld != nil && s.strippable[fld] {
+			for _, a := range init.Args {
+				if !effectFree(a) {
+					es := &ast.ExprStmt{X: a}
+					es.SetPos(a.Pos())
+					hoisted = append(hoisted, es)
+				}
+			}
+			continue
+		}
+		kept = append(kept, *init)
+	}
+	md.Inits = kept
+	fn.Inits = kept
+	if len(hoisted) > 0 && md.Body != nil {
+		md.Body.Stmts = append(hoisted, md.Body.Stmts...)
+	}
+}
+
+// rewriteBlock transforms statements in place.
+func (s *stripper) rewriteBlock(b *ast.BlockStmt) {
+	out := b.Stmts[:0]
+	for _, st := range b.Stmts {
+		if repl, drop := s.rewriteStmt(st); !drop {
+			out = append(out, repl)
+		}
+	}
+	b.Stmts = out
+}
+
+// rewriteStmt returns the replacement statement, or drop=true to delete it.
+func (s *stripper) rewriteStmt(st ast.Stmt) (ast.Stmt, bool) {
+	switch x := st.(type) {
+	case *ast.BlockStmt:
+		s.rewriteBlock(x)
+		return x, false
+	case *ast.ExprStmt:
+		return s.rewriteExprStmt(x)
+	case *ast.IfStmt:
+		x.Then, _ = s.rewriteStmt(x.Then)
+		if x.Else != nil {
+			if repl, drop := s.rewriteStmt(x.Else); drop {
+				x.Else = nil
+			} else {
+				x.Else = repl
+			}
+		}
+		return x, false
+	case *ast.WhileStmt:
+		x.Body, _ = s.rewriteStmt(x.Body)
+		return x, false
+	case *ast.DoWhileStmt:
+		x.Body, _ = s.rewriteStmt(x.Body)
+		return x, false
+	case *ast.ForStmt:
+		if x.Init != nil {
+			x.Init, _ = s.rewriteStmt(x.Init)
+		}
+		x.Body, _ = s.rewriteStmt(x.Body)
+		return x, false
+	case *ast.SwitchStmt:
+		for i := range x.Cases {
+			out := x.Cases[i].Body[:0]
+			for _, st := range x.Cases[i].Body {
+				if repl, drop := s.rewriteStmt(st); !drop {
+					out = append(out, repl)
+				}
+			}
+			x.Cases[i].Body = out
+		}
+		return x, false
+	}
+	return st, false
+}
+
+// rewriteExprStmt handles the expression-statement forms involving
+// stripped members.
+func (s *stripper) rewriteExprStmt(es *ast.ExprStmt) (ast.Stmt, bool) {
+	switch x := ast.Unparen(es.X).(type) {
+	case *ast.Assign:
+		if x.Op == token.Assign {
+			if f := s.deadFieldOf(x.LHS); f != nil && s.strippable[f] {
+				// `x.dead = e;` -> `e;` (or nothing if e is pure).
+				if effectFree(x.RHS) {
+					return nil, true
+				}
+				es.X = x.RHS
+				return es, false
+			}
+		}
+	case *ast.Delete:
+		if f := s.deadFieldOf(x.X); f != nil && s.strippable[f] {
+			return nil, true
+		}
+	case *ast.Call:
+		if fn, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b := s.info.IdentFuncs[fn]; b != nil && b.Builtin && b.Name == "free" && len(x.Args) == 1 {
+				if f := s.deadFieldOf(x.Args[0]); f != nil && s.strippable[f] {
+					return nil, true
+				}
+			}
+		}
+	}
+	return es, false
+}

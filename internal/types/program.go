@@ -1,0 +1,144 @@
+package types
+
+import (
+	"deadmembers/internal/ast"
+	"deadmembers/internal/source"
+)
+
+// Program is a fully type-checked MC++ program: the class hierarchy, all
+// functions, globals, and the side tables binding AST nodes to semantic
+// objects.
+type Program struct {
+	FileSet *source.FileSet
+	Files   []*ast.File
+
+	Classes   []*Class // declaration order
+	Functions []*Func  // free functions, declaration order (excluding builtins)
+	Builtins  []*Func  // predeclared runtime functions
+	Globals   []*Var   // global variables, declaration order
+
+	ClassByName map[string]*Class
+	FuncByName  map[string]*Func // free functions and builtins
+
+	// Main is the program entry point (free function "main"), or nil.
+	Main *Func
+
+	Info *Info
+}
+
+// Info holds the AST-to-semantics side tables produced by type checking,
+// in the style of go/types.Info.
+type Info struct {
+	// Types maps every expression to its type. Expressions of void type
+	// (calls to void functions) map to VoidType.
+	Types map[ast.Expr]Type
+
+	// FieldRefs maps member-access expressions that denote data members
+	// (after member lookup, including accesses inherited from base
+	// classes) to the resolved field.
+	FieldRefs map[*ast.Member]*Field
+
+	// MethodRefs maps member-access expressions used as call callees to
+	// the statically resolved method (the lookup result; dynamic dispatch
+	// may select an override at run time).
+	MethodRefs map[*ast.Member]*Func
+
+	// QualFieldRefs maps `C::m` qualified-identifier expressions (used in
+	// pointer-to-member constants `&C::m`) to the resolved field.
+	QualFieldRefs map[*ast.QualifiedIdent]*Field
+
+	// IdentVars maps identifier uses to the variable (local, parameter,
+	// or global) they denote.
+	IdentVars map[*ast.Ident]*Var
+
+	// IdentFuncs maps identifier call callees to free functions/builtins.
+	IdentFuncs map[*ast.Ident]*Func
+
+	// IdentFields maps identifiers inside method bodies that resolve to
+	// data members of the enclosing class (implicit `this->` accesses).
+	IdentFields map[*ast.Ident]*Field
+
+	// IdentMethods maps identifier call callees inside method bodies that
+	// resolve to methods of the enclosing class (implicit `this->` calls).
+	IdentMethods map[*ast.Ident]*Func
+
+	// VarTypes maps every variable declaration (global and local) to its
+	// resolved type.
+	VarTypes map[*ast.VarDecl]Type
+
+	// VarObjects maps variable declarations to their semantic object.
+	VarObjects map[*ast.VarDecl]*Var
+
+	// TypeExprs maps syntactic types to semantic types.
+	TypeExprs map[ast.TypeExpr]Type
+
+	// CtorInitFields resolves constructor-initializer entries naming data
+	// members; CtorInitBases resolves entries naming base classes.
+	CtorInitFields map[*ast.CtorInit]*Field
+	CtorInitBases  map[*ast.CtorInit]*Class
+
+	// NewCtors maps `new C(...)` expressions to the constructor they
+	// invoke (nil when the class has no user-declared constructor).
+	NewCtors map[*ast.New]*Func
+
+	// VarCtors maps class-typed variable declarations to the constructor
+	// used to initialize them (nil for default zero-init of ctor-less
+	// classes).
+	VarCtors map[*ast.VarDecl]*Func
+
+	// UnsafeCasts records cast expressions classified as unsafe
+	// (downcasts or pointer reinterpretation between unrelated types);
+	// the value is the static class whose members the paper's algorithm
+	// must conservatively mark fully live (the source type S of `(T)e`).
+	UnsafeCasts map[*ast.Cast]*Class
+
+	// EnclosingFunc maps each function body to its Func object, and
+	// records for every Call expression the Func in which it occurs.
+	CallSites map[*ast.Call]*Func
+}
+
+// NewInfo returns an Info with all maps allocated.
+func NewInfo() *Info {
+	return &Info{
+		Types:          map[ast.Expr]Type{},
+		FieldRefs:      map[*ast.Member]*Field{},
+		MethodRefs:     map[*ast.Member]*Func{},
+		QualFieldRefs:  map[*ast.QualifiedIdent]*Field{},
+		IdentVars:      map[*ast.Ident]*Var{},
+		IdentFuncs:     map[*ast.Ident]*Func{},
+		IdentFields:    map[*ast.Ident]*Field{},
+		IdentMethods:   map[*ast.Ident]*Func{},
+		VarTypes:       map[*ast.VarDecl]Type{},
+		VarObjects:     map[*ast.VarDecl]*Var{},
+		TypeExprs:      map[ast.TypeExpr]Type{},
+		CtorInitFields: map[*ast.CtorInit]*Field{},
+		CtorInitBases:  map[*ast.CtorInit]*Class{},
+		NewCtors:       map[*ast.New]*Func{},
+		VarCtors:       map[*ast.VarDecl]*Func{},
+		UnsafeCasts:    map[*ast.Cast]*Class{},
+		CallSites:      map[*ast.Call]*Func{},
+	}
+}
+
+// TypeOf returns the recorded type of e, or nil.
+func (i *Info) TypeOf(e ast.Expr) Type { return i.Types[e] }
+
+// AllFuncs returns every function with a body: free functions followed by
+// all methods of all classes, in declaration order.
+func (p *Program) AllFuncs() []*Func {
+	var out []*Func
+	out = append(out, p.Functions...)
+	for _, c := range p.Classes {
+		out = append(out, c.Methods...)
+	}
+	return out
+}
+
+// TotalDataMembers counts data members across the given classes.
+func TotalDataMembers(classes []*Class) int {
+	n := 0
+	for _, c := range classes {
+		n += len(c.Fields)
+	}
+	return n
+}

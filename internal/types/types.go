@@ -1,0 +1,339 @@
+// Package types defines the semantic type representations and the typed
+// program model for MC++.
+//
+// It is the shared vocabulary of the toolchain: the sema package constructs
+// Class/Field/Func objects and attaches them to AST nodes through the Info
+// side tables; the hierarchy, callgraph, deadmember, and interp packages
+// consume them.
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"deadmembers/internal/ast"
+	"deadmembers/internal/source"
+)
+
+// Type is the interface implemented by all MC++ types.
+type Type interface {
+	String() string
+	isType()
+}
+
+// BasicKind enumerates the builtin scalar types.
+type BasicKind int
+
+// Builtin scalar kinds.
+const (
+	Void BasicKind = iota
+	Bool
+	Char
+	Int
+	Double
+)
+
+// Basic is a builtin scalar type. Use the package-level singletons.
+type Basic struct {
+	Kind BasicKind
+	name string
+}
+
+// Singleton basic types; pointer identity comparisons are valid.
+var (
+	VoidType   = &Basic{Void, "void"}
+	BoolType   = &Basic{Bool, "bool"}
+	CharType   = &Basic{Char, "char"}
+	IntType    = &Basic{Int, "int"}
+	DoubleType = &Basic{Double, "double"}
+)
+
+func (b *Basic) String() string { return b.name }
+func (*Basic) isType()          {}
+
+// IsArithmetic reports whether the basic type participates in arithmetic.
+func (b *Basic) IsArithmetic() bool { return b.Kind != Void }
+
+// Pointer is `Elem*`. The null pointer constant has type Pointer{VoidType}.
+type Pointer struct {
+	Elem Type
+}
+
+func (p *Pointer) String() string { return p.Elem.String() + "*" }
+func (*Pointer) isType()          {}
+
+// Array is a fixed-size array `Elem[Len]`.
+type Array struct {
+	Elem Type
+	Len  int
+}
+
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }
+func (*Array) isType()          {}
+
+// MemberPointer is a pointer-to-data-member type `Elem Class::*`.
+type MemberPointer struct {
+	Class *Class
+	Elem  Type
+}
+
+func (m *MemberPointer) String() string {
+	return fmt.Sprintf("%s %s::*", m.Elem, m.Class.Name)
+}
+func (*MemberPointer) isType() {}
+
+// ClassKind mirrors ast.ClassKind at the semantic level.
+type ClassKind int
+
+// Semantic class kinds.
+const (
+	ClassClass ClassKind = iota
+	ClassStruct
+	ClassUnion
+)
+
+// String returns the declaring keyword.
+func (k ClassKind) String() string {
+	switch k {
+	case ClassStruct:
+		return "struct"
+	case ClassUnion:
+		return "union"
+	default:
+		return "class"
+	}
+}
+
+// Base is one base-class edge of a class.
+type Base struct {
+	Class   *Class
+	Virtual bool
+}
+
+// Class is a class, struct, or union type.
+type Class struct {
+	Name    string
+	Kind    ClassKind
+	Bases   []Base
+	Fields  []*Field
+	Methods []*Func
+	Pos     source.Pos
+
+	// Library marks classes designated by the user as belonging to a
+	// library whose full source is unavailable; the analysis treats their
+	// members conservatively (Section 3.3 of the paper).
+	Library bool
+
+	// Complete is false for forward declarations never given a body.
+	Complete bool
+
+	// Decl is the defining AST node, if any.
+	Decl *ast.ClassDecl
+}
+
+func (c *Class) String() string { return c.Name }
+func (*Class) isType()          {}
+
+// IsUnion reports whether the class was declared with `union`.
+func (c *Class) IsUnion() bool { return c.Kind == ClassUnion }
+
+// FieldByName returns the field declared directly in c (not in bases)
+// with the given name, or nil.
+func (c *Class) FieldByName(name string) *Field {
+	for _, f := range c.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// MethodByName returns the method declared directly in c with the given
+// name, or nil.
+func (c *Class) MethodByName(name string) *Func {
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Ctors returns the constructors declared in c.
+func (c *Class) Ctors() []*Func {
+	var out []*Func
+	for _, m := range c.Methods {
+		if m.IsCtor {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// CtorByArity returns the constructor of c taking n parameters, or nil.
+// MC++ permits constructor overloading by parameter count only.
+func (c *Class) CtorByArity(n int) *Func {
+	for _, m := range c.Methods {
+		if m.IsCtor && len(m.Params) == n {
+			return m
+		}
+	}
+	return nil
+}
+
+// Dtor returns the destructor of c, or nil.
+func (c *Class) Dtor() *Func {
+	for _, m := range c.Methods {
+		if m.IsDtor {
+			return m
+		}
+	}
+	return nil
+}
+
+// HasVirtualMethods reports whether c declares any virtual method
+// (directly; inherited virtuality is computed by the hierarchy package).
+func (c *Class) HasVirtualMethods() bool {
+	for _, m := range c.Methods {
+		if m.Virtual {
+			return true
+		}
+	}
+	return false
+}
+
+// Field is a non-static data member.
+type Field struct {
+	Name     string
+	Type     Type
+	Volatile bool
+	Owner    *Class
+	Index    int // position within Owner.Fields
+	Pos      source.Pos
+	Decl     *ast.FieldDecl
+}
+
+// QualifiedName returns "Owner::Name".
+func (f *Field) QualifiedName() string { return f.Owner.Name + "::" + f.Name }
+
+// String returns the qualified name.
+func (f *Field) String() string { return f.QualifiedName() }
+
+// Var is a local variable, parameter, or global variable.
+type Var struct {
+	Name   string
+	Type   Type
+	Global bool
+	Pos    source.Pos
+	Decl   *ast.VarDecl // nil for parameters
+}
+
+func (v *Var) String() string { return v.Name }
+
+// Func is a free function or a method.
+type Func struct {
+	Name    string
+	Owner   *Class // nil for free functions
+	Params  []*Var
+	Return  Type // nil means void (and for ctors/dtors)
+	Virtual bool
+	Pure    bool
+	IsCtor  bool
+	IsDtor  bool
+	Builtin bool // predeclared runtime function (print, malloc, ...)
+	Pos     source.Pos
+	Body    *ast.BlockStmt
+	Inits   []ast.CtorInit // constructor member-initializer list
+	Decl    ast.Node       // *ast.FuncDecl or *ast.MethodDecl
+}
+
+// QualifiedName returns "Class::name" for methods and "name" otherwise.
+func (f *Func) QualifiedName() string {
+	if f.Owner != nil {
+		return f.Owner.Name + "::" + f.Name
+	}
+	return f.Name
+}
+
+// String returns the qualified name plus a parameter-count signature.
+func (f *Func) String() string {
+	var b strings.Builder
+	b.WriteString(f.QualifiedName())
+	b.WriteString("(")
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if p.Type == nil {
+			b.WriteString("?") // signature not yet resolved
+		} else {
+			b.WriteString(p.Type.String())
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Identical reports structural type equality. Classes compare by pointer
+// identity (one Class object per declaration).
+func Identical(a, b Type) bool {
+	if a == b {
+		return true
+	}
+	switch x := a.(type) {
+	case *Basic:
+		y, ok := b.(*Basic)
+		return ok && x.Kind == y.Kind
+	case *Pointer:
+		y, ok := b.(*Pointer)
+		return ok && Identical(x.Elem, y.Elem)
+	case *Array:
+		y, ok := b.(*Array)
+		return ok && x.Len == y.Len && Identical(x.Elem, y.Elem)
+	case *MemberPointer:
+		y, ok := b.(*MemberPointer)
+		return ok && x.Class == y.Class && Identical(x.Elem, y.Elem)
+	}
+	return false
+}
+
+// IsPointer reports whether t is a pointer type.
+func IsPointer(t Type) bool {
+	_, ok := t.(*Pointer)
+	return ok
+}
+
+// IsClass returns the class if t is a class type, else nil.
+func IsClass(t Type) *Class {
+	c, _ := t.(*Class)
+	return c
+}
+
+// PointeeClass returns the class C if t is C* (possibly through arrays of
+// C), else nil.
+func PointeeClass(t Type) *Class {
+	if p, ok := t.(*Pointer); ok {
+		return IsClass(p.Elem)
+	}
+	return nil
+}
+
+// Deref returns Elem for pointer and array types, else nil.
+func Deref(t Type) Type {
+	switch x := t.(type) {
+	case *Pointer:
+		return x.Elem
+	case *Array:
+		return x.Elem
+	}
+	return nil
+}
+
+// IsVoid reports whether t is void (or nil, which stands for void returns).
+func IsVoid(t Type) bool {
+	if t == nil {
+		return true
+	}
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Void
+}
