@@ -1,0 +1,23 @@
+# Stdlib-only Go module; no code generation, no external tools.
+
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# What CI runs (see .github/workflows/ci.yml).
+ci: build vet race

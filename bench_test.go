@@ -12,6 +12,7 @@ import (
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/dynprof"
+	"deadmembers/internal/engine"
 	"deadmembers/internal/frontend"
 	"deadmembers/internal/lexer"
 	"deadmembers/internal/parser"
@@ -109,6 +110,75 @@ func BenchmarkAblationCallGraph(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineSequentialVsParallel compares one full engine pass
+// (compile + RTA analysis) over the whole corpus with a sequential
+// pipeline against the parallel parse and liveness stages.
+func BenchmarkEngineSequentialVsParallel(b *testing.B) {
+	for _, workers := range []int{1, 0} { // 1 = sequential, 0 = all cores
+		name := "sequential"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, bm := range bench.All() {
+					c := engine.Compile(engine.Config{Workers: workers}, bm.Sources...)
+					if err := c.Err(); err != nil {
+						b.Fatal(err)
+					}
+					res := c.Analyze(deadmember.Options{CallGraph: callgraph.RTA})
+					if s := res.Stats(); s.Members == 0 {
+						b.Fatal("no members")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCompileOnceVsRecompile measures the tentpole win: the
+// six-variant ablation sweep over the corpus, either recompiling every
+// benchmark per variant (the seed's behaviour) or compiling once per
+// benchmark and reusing the Compilation — with the RTA variants also
+// sharing one cached call graph.
+func BenchmarkAblationCompileOnceVsRecompile(b *testing.B) {
+	variants := []deadmember.Options{
+		{CallGraph: callgraph.RTA},
+		{CallGraph: callgraph.CHA},
+		{CallGraph: callgraph.ALL},
+		{CallGraph: callgraph.RTA, WritesAreUses: true},
+		{CallGraph: callgraph.RTA, Sizeof: deadmember.SizeofConservative},
+		{CallGraph: callgraph.RTA, NoDeleteSpecialCase: true},
+	}
+	b.Run("recompile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, bm := range bench.All() {
+				for _, opts := range variants {
+					r := frontend.Compile(bm.Sources...)
+					if err := r.Err(); err != nil {
+						b.Fatal(err)
+					}
+					_ = deadmember.Analyze(r.Program, r.Graph, opts).Stats()
+				}
+			}
+		}
+	})
+	b.Run("compile-once", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			session := engine.NewSession(engine.Config{})
+			for _, bm := range bench.All() {
+				c := session.Compile(bm.Sources...)
+				if err := c.Err(); err != nil {
+					b.Fatal(err)
+				}
+				for _, opts := range variants {
+					_ = c.Analyze(opts).Stats()
+				}
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------

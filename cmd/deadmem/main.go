@@ -31,8 +31,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sizeofPolicy   = fs.String("sizeof", "ignore", "sizeof policy: ignore (paper setting) or conservative")
 		noDeleteRule   = fs.Bool("no-delete-rule", false, "disable the delete/free special case")
 		trustDowncasts = fs.Bool("trust-downcasts", false, "treat all downcasts as verified safe")
+		writesAreUses  = fs.Bool("writes-are-uses", false, "ablation: treat every write as a use (paper §2 argues against this)")
 		libraries      = fs.String("library", "", "comma-separated class names treated as library classes")
 		verbose        = fs.Bool("v", false, "also list live members with the reason they are live")
+		stageTimings   = fs.Bool("verbose", false, "print per-stage wall-clock timings of the engine pipeline")
+		parallel       = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
 		perClass       = fs.Bool("classes", false, "print a per-class breakdown (IDE-feedback view)")
 		unreachable    = fs.Bool("unreachable", false, "also list unreachable functions")
 	)
@@ -48,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := deadmembers.Options{
 		NoDeleteSpecialCase: *noDeleteRule,
 		TrustDowncasts:      *trustDowncasts,
+		WritesAreUses:       *writesAreUses,
 	}
 	switch strings.ToLower(*callgraphMode) {
 	case "rta":
@@ -83,11 +87,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sources = append(sources, deadmembers.Source{Name: path, Text: string(text)})
 	}
 
-	res, err := deadmembers.Analyze(opts, sources...)
+	comp, err := deadmembers.CompileWith(deadmembers.CompileConfig{Workers: *parallel}, sources...)
 	if err != nil {
 		fmt.Fprintf(stderr, "deadmem: %v\n", err)
 		return 1
 	}
+	res, timings := comp.AnalyzeTimed(opts)
 
 	dead := res.DeadMembers()
 	if len(dead) == 0 {
@@ -140,5 +145,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	s := res.Stats()
 	fmt.Fprintf(stdout, "\n%d classes (%d used), %d data members in used classes, %d dead (%.1f%%)\n",
 		s.Classes, s.UsedClasses, s.Members, s.DeadMembers, s.DeadPercent())
+
+	if *stageTimings {
+		fmt.Fprintf(stdout, "\nengine stage timings:\n")
+		fmt.Fprintf(stdout, "  parse      %12v\n", timings.Parse)
+		fmt.Fprintf(stdout, "  sema       %12v\n", timings.Sema)
+		fmt.Fprintf(stdout, "  callgraph  %12v\n", timings.CallGraph)
+		fmt.Fprintf(stdout, "  liveness   %12v\n", timings.Liveness)
+		fmt.Fprintf(stdout, "  total      %12v\n", timings.Total())
+	}
 	return 0
 }

@@ -54,6 +54,20 @@ func TestVerboseListsLiveMembers(t *testing.T) {
 	}
 }
 
+func TestVerbosePrintsStageTimings(t *testing.T) {
+	path := writeSample(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-verbose", "-parallel", "2", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, stage := range []string{"engine stage timings", "parse", "sema", "callgraph", "liveness", "total"} {
+		if !strings.Contains(s, stage) {
+			t.Errorf("-verbose output missing %q stage:\n%s", stage, s)
+		}
+	}
+}
+
 func TestCallGraphFlag(t *testing.T) {
 	path := writeSample(t)
 	for _, mode := range []string{"rta", "cha", "all"} {

@@ -29,6 +29,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		keepUnreachable = fs.Bool("keep-unreachable", false, "do not remove unreachable functions")
 		verify          = fs.Bool("verify", true, "run original and stripped programs and compare behaviour")
+		parallel        = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,13 +50,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sources = append(sources, deadmembers.Source{Name: path, Text: string(text)})
 	}
 
-	out, err := deadmembers.Strip(deadmembers.Options{}, deadmembers.StripOptions{
-		KeepUnreachable: *keepUnreachable,
-	}, sources...)
+	// Compile once; the same compilation serves the verification run of
+	// the original program and the strip transform (which consumes it).
+	cfg := deadmembers.CompileConfig{Workers: *parallel}
+	comp, err := deadmembers.CompileWith(cfg, sources...)
 	if err != nil {
 		fmt.Fprintf(stderr, "deadstrip: %v\n", err)
 		return 1
 	}
+
+	var before *deadmembers.ExecResult
+	if *verify {
+		// Run the original before stripping: the transform rewrites the
+		// compiled syntax trees in place.
+		before, err = comp.Run()
+		if err != nil {
+			fmt.Fprintf(stderr, "deadstrip: original does not run: %v\n", err)
+			return 1
+		}
+	}
+
+	out := comp.Strip(deadmembers.Options{}, deadmembers.StripOptions{
+		KeepUnreachable: *keepUnreachable,
+	})
 
 	for _, m := range out.RemovedMembers {
 		fmt.Fprintf(stderr, "removed member   %s\n", m)
@@ -68,12 +85,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *verify {
-		before, err := deadmembers.Run(sources...)
+		stripped, err := deadmembers.CompileWith(cfg, out.Sources...)
 		if err != nil {
-			fmt.Fprintf(stderr, "deadstrip: original does not run: %v\n", err)
+			fmt.Fprintf(stderr, "deadstrip: stripped program does not compile: %v\n", err)
 			return 1
 		}
-		after, err := deadmembers.Run(out.Sources...)
+		after, err := stripped.Run()
 		if err != nil {
 			fmt.Fprintf(stderr, "deadstrip: stripped program does not run: %v\n", err)
 			return 1

@@ -28,6 +28,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		profile  = fs.Bool("profile", false, "run the dead-member analysis and report heap statistics")
 		maxSteps = fs.Int64("max-steps", 0, "statement execution limit (0 = default)")
+		parallel = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -48,8 +49,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sources = append(sources, deadmembers.Source{Name: path, Text: string(text)})
 	}
 
+	comp, err := deadmembers.CompileWith(deadmembers.CompileConfig{Workers: *parallel}, sources...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mccrun: %v\n", err)
+		return 1
+	}
+
 	if *profile {
-		prof, err := deadmembers.ProfileProgram(deadmembers.Options{MaxSteps: *maxSteps}, sources...)
+		prof, err := comp.Profile(deadmembers.Options{MaxSteps: *maxSteps})
 		if err != nil {
 			fmt.Fprintf(stderr, "mccrun: %v\n", err)
 			return 1
@@ -70,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return prof.Exec.ExitCode
 	}
 
-	res, err := deadmembers.Run(sources...)
+	res, err := comp.Run()
 	if err != nil {
 		fmt.Fprintf(stderr, "mccrun: %v\n", err)
 		return 1

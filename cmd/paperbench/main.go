@@ -7,8 +7,14 @@
 //	paperbench -table1         # just Table 1
 //	paperbench -figure3 -figure4
 //	paperbench -ablation       # the design-choice ablations
+//	paperbench -timings        # per-stage engine wall-clock timings
+//	paperbench -parallel 8     # bound the engine's worker pool
 //	paperbench -csv            # machine-readable results
 //	paperbench -dump richards  # print a corpus benchmark's MC++ source
+//
+// All exhibits share one engine session: each corpus benchmark is
+// compiled exactly once, no matter how many tables, figures, and ablation
+// variants are produced from it.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"os"
 
 	"deadmembers/internal/bench"
+	"deadmembers/internal/engine"
 	"deadmembers/internal/report"
 )
 
@@ -35,7 +42,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		figure4  = fs.Bool("figure4", false, "dynamic percentages (paper Figure 4)")
 		summary  = fs.Bool("summary", false, "headline numbers vs the paper's abstract")
 		ablation = fs.Bool("ablation", false, "analysis-variant ablations")
+		timings  = fs.Bool("timings", false, "per-stage engine wall-clock timings and session cache counters")
 		csvOut   = fs.Bool("csv", false, "machine-readable measured results")
+		parallel = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
 		dump     = fs.String("dump", "", "print the MC++ source of the named corpus benchmark and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -54,9 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	all := !*table1 && !*figure3 && !*table2 && !*figure4 && !*summary && !*ablation && !*csvOut
+	all := !*table1 && !*figure3 && !*table2 && !*figure4 && !*summary && !*ablation && !*timings && !*csvOut
 
-	results, err := report.CollectAll()
+	session := engine.NewSession(engine.Config{Workers: *parallel})
+	results, err := report.CollectAllIn(session)
 	if err != nil {
 		fmt.Fprintf(stderr, "paperbench: %v\n", err)
 		return 1
@@ -81,12 +91,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, report.CSV(results))
 	}
 	if all || *ablation {
-		rows, err := report.RunAblations()
+		rows, err := report.RunAblationsIn(session)
 		if err != nil {
 			fmt.Fprintf(stderr, "paperbench: %v\n", err)
 			return 1
 		}
 		fmt.Fprintln(stdout, report.AblationTable(rows))
+	}
+	if *timings {
+		fmt.Fprintln(stdout, report.TimingsTable(results, session.Stats()))
 	}
 	return 0
 }

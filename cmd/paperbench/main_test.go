@@ -43,6 +43,24 @@ func TestSingleExhibits(t *testing.T) {
 	}
 }
 
+func TestTimingsFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-timings", "-ablation", "-parallel", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"parse", "sema", "liveness", "Ablations"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-timings output missing %q:\n%s", want, s)
+		}
+	}
+	// All exhibits share one session: 11 compiles total even with the
+	// ablation sweep included.
+	if !strings.Contains(s, "session: 11 frontend compile(s)") {
+		t.Errorf("timings output should report 11 session compiles:\n%s", s)
+	}
+}
+
 func TestCSVFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-csv"}, &out, &errOut); code != 0 {

@@ -8,24 +8,34 @@
 // interpreter with an instrumented heap, how much object space those dead
 // members occupy at run time.
 //
-// Typical use:
+// The pipeline is staged: Compile runs the frontend once and returns a
+// Compilation that can be analyzed, profiled, or stripped many times under
+// different Options without re-lexing, re-parsing, or re-typechecking:
 //
-//	result, err := deadmembers.AnalyzeSource("app.mcc", src, deadmembers.Options{})
+//	comp, err := deadmembers.Compile(deadmembers.Source{Name: "app.mcc", Text: src})
+//	result := comp.Analyze(deadmembers.Options{})
 //	for _, f := range result.DeadMembers() {
 //	    fmt.Println(f.QualifiedName())
 //	}
-//	profile, err := deadmembers.ProfileSource("app.mcc", src, deadmembers.Options{})
+//	ablated := comp.Analyze(deadmembers.Options{WritesAreUses: true})
+//	profile, err := comp.Profile(deadmembers.Options{})
 //	fmt.Println(profile.Ledger.DeadPercent())
+//
+// The one-shot helpers (Analyze, AnalyzeSource, ProfileProgram, Strip,
+// Run) remain as thin wrappers that compile and run a single stage.
 //
 // The internal packages implement the full pipeline: lexer, parser, type
 // checker, class hierarchy (member lookup + object layout), call graphs
-// (ALL/CHA/RTA), the paper's detection algorithm, and the interpreter.
+// (ALL/CHA/RTA), the paper's detection algorithm, the interpreter, and
+// the staged engine (internal/engine) with its parallel parse/liveness
+// stages and compile-once session cache.
 package deadmembers
 
 import (
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/dynprof"
+	"deadmembers/internal/engine"
 	"deadmembers/internal/frontend"
 	"deadmembers/internal/interp"
 	"deadmembers/internal/strip"
@@ -82,6 +92,14 @@ type Options struct {
 	// user has verified safe (the paper verified all of its benchmarks').
 	TrustDowncasts bool
 
+	// WritesAreUses makes every write access mark a member live, the way a
+	// naive "is it mentioned?" analysis would. The paper's §2 definition —
+	// a member is dead when only written, because "data members are
+	// typically initialized with a value in a constructor" — is exactly
+	// what this switch disables; turning it on quantifies how few members
+	// would be reported dead without the write/read distinction (ablation).
+	WritesAreUses bool
+
 	// LibraryClasses names classes whose source is nominally unavailable;
 	// their members are unclassifiable and their virtual methods'
 	// overriders become call-graph roots.
@@ -97,6 +115,7 @@ func (o Options) analysisOptions() deadmember.Options {
 		Sizeof:              o.Sizeof,
 		NoDeleteSpecialCase: o.NoDeleteSpecialCase,
 		TrustDowncasts:      o.TrustDowncasts,
+		WritesAreUses:       o.WritesAreUses,
 		LibraryClasses:      o.LibraryClasses,
 	}
 }
@@ -111,13 +130,85 @@ type Profile = dynprof.Profile
 // ExecResult reports a plain (unprofiled) execution.
 type ExecResult = interp.Result
 
-// Analyze compiles the sources and runs the dead-data-member analysis.
-func Analyze(opts Options, sources ...Source) (*Result, error) {
-	r := frontend.Compile(sources...)
-	if err := r.Err(); err != nil {
+// Timings records per-stage wall-clock durations of the pipeline.
+type Timings = engine.Timings
+
+// CompileConfig controls how the engine executes — never what it
+// computes: any configuration yields byte-identical results.
+type CompileConfig struct {
+	// Workers bounds the parallelism of the parse and liveness stages.
+	// 0 means GOMAXPROCS; 1 forces sequential execution.
+	Workers int
+}
+
+// Compilation is a compiled program: the reusable artifact of the
+// frontend stages. Analyze/Profile/Strip/Run execute the later pipeline
+// stages against it; compiling once and analyzing many times is the
+// intended idiom for sweeps and services.
+type Compilation struct {
+	eng *engine.Compilation
+}
+
+// Compile runs the frontend (parallel lex/parse, then semantic analysis)
+// over the sources once, returning the reusable Compilation.
+func Compile(sources ...Source) (*Compilation, error) {
+	return CompileWith(CompileConfig{}, sources...)
+}
+
+// CompileWith is Compile under an explicit execution configuration.
+func CompileWith(cfg CompileConfig, sources ...Source) (*Compilation, error) {
+	c := engine.Compile(engine.Config{Workers: cfg.Workers}, sources...)
+	if err := c.Err(); err != nil {
 		return nil, err
 	}
-	return deadmember.Analyze(r.Program, r.Graph, opts.analysisOptions()), nil
+	return &Compilation{eng: c}, nil
+}
+
+// Analyze runs the dead-data-member analysis. Repeated calls reuse the
+// compiled program (and the call graph, when only marking rules differ).
+func (c *Compilation) Analyze(opts Options) *Result {
+	return c.eng.Analyze(opts.analysisOptions())
+}
+
+// AnalyzeTimed is Analyze plus per-stage wall-clock timings (Parse/Sema
+// are the compilation's; CallGraph/Liveness are this call's).
+func (c *Compilation) AnalyzeTimed(opts Options) (*Result, Timings) {
+	return c.eng.AnalyzeTimed(opts.analysisOptions())
+}
+
+// Profile analyzes and then executes the program with an instrumented
+// heap, attributing bytes to the dead members found.
+func (c *Compilation) Profile(opts Options) (*Profile, error) {
+	return c.eng.Profile(opts.analysisOptions(), dynprof.Options{MaxSteps: opts.MaxSteps})
+}
+
+// Run executes the program without instrumentation.
+func (c *Compilation) Run() (*ExecResult, error) {
+	return c.eng.Run()
+}
+
+// Strip analyzes and removes the dead data members (and unreachable
+// functions) whose elimination is provably behaviour preserving. The
+// transform consumes the compilation (its syntax trees are rewritten in
+// place): do not call Analyze/Profile/Run on it afterwards — compile
+// StripResult.Sources instead.
+func (c *Compilation) Strip(opts Options, stripOpts StripOptions) *StripResult {
+	return c.eng.Strip(opts.analysisOptions(), stripOpts)
+}
+
+// Timings returns the frontend stage durations of this compilation.
+func (c *Compilation) Timings() Timings { return c.eng.Timings() }
+
+// Fingerprint returns the content hash identifying the compiled sources.
+func (c *Compilation) Fingerprint() string { return c.eng.Fingerprint }
+
+// Analyze compiles the sources and runs the dead-data-member analysis.
+func Analyze(opts Options, sources ...Source) (*Result, error) {
+	c, err := Compile(sources...)
+	if err != nil {
+		return nil, err
+	}
+	return c.Analyze(opts), nil
 }
 
 // AnalyzeSource analyzes a single source file.
@@ -128,11 +219,11 @@ func AnalyzeSource(name, text string, opts Options) (*Result, error) {
 // ProfileProgram analyzes the sources and then executes the program with
 // an instrumented heap, attributing bytes to the dead members found.
 func ProfileProgram(opts Options, sources ...Source) (*Profile, error) {
-	res, err := Analyze(opts, sources...)
+	c, err := Compile(sources...)
 	if err != nil {
 		return nil, err
 	}
-	return dynprof.Run(res, dynprof.Options{MaxSteps: opts.MaxSteps})
+	return c.Profile(opts)
 }
 
 // ProfileSource profiles a single source file.
@@ -152,19 +243,19 @@ type StripResult = strip.Result
 // preserving, returning the transformed program — the space optimization
 // the paper proposes for "any optimizing compiler".
 func Strip(opts Options, stripOpts StripOptions, sources ...Source) (*StripResult, error) {
-	res, err := Analyze(opts, sources...)
+	c, err := Compile(sources...)
 	if err != nil {
 		return nil, err
 	}
-	return strip.Apply(res, stripOpts), nil
+	return c.Strip(opts, stripOpts), nil
 }
 
 // Run compiles and executes the sources without instrumentation,
 // returning the program's exit code and captured output.
 func Run(sources ...Source) (*ExecResult, error) {
-	r := frontend.Compile(sources...)
-	if err := r.Err(); err != nil {
+	c, err := Compile(sources...)
+	if err != nil {
 		return nil, err
 	}
-	return interp.Run(r.Program, r.Graph, interp.Options{})
+	return c.Run()
 }

@@ -216,3 +216,108 @@ int main() {
 		t.Fatal("trusted downcasts should let A::x die")
 	}
 }
+
+const reuseExample = `
+class Box {
+public:
+	int used;
+	int wasted;    // dead: written in the ctor, never read
+	Box() : used(1), wasted(2) {}
+};
+int main() {
+	Box* b = new Box();
+	int v = b->used;
+	delete b;
+	return v;
+}
+`
+
+// TestCompileReuse exercises the compile-once API: one Compilation serves
+// several analyses under different options, a profile, and a run — with
+// no recompilation in between.
+func TestCompileReuse(t *testing.T) {
+	comp, err := deadmembers.Compile(deadmembers.Source{Name: "reuse.mcc", Text: reuseExample})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := comp.Analyze(deadmembers.Options{})
+	if dead := res.DeadMembers(); len(dead) != 1 || dead[0].QualifiedName() != "Box::wasted" {
+		t.Fatalf("dead = %v, want [Box::wasted]", dead)
+	}
+
+	// Same compilation, different options: writes-as-uses revives the
+	// write-only member.
+	res2 := comp.Analyze(deadmembers.Options{WritesAreUses: true})
+	if dead := res2.DeadMembers(); len(dead) != 0 {
+		t.Fatalf("writes-as-uses left members dead: %v", dead)
+	}
+
+	prof, err := comp.Profile(deadmembers.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Exec.ExitCode != 1 || prof.Ledger.DeadBytes != 4 {
+		t.Fatalf("profile exit=%d deadbytes=%d, want 1/4", prof.Exec.ExitCode, prof.Ledger.DeadBytes)
+	}
+
+	exec, err := comp.Run()
+	if err != nil || exec.ExitCode != 1 {
+		t.Fatalf("run: %v result=%+v", err, exec)
+	}
+
+	// Frontend work happened exactly once, and the stage timings cover it.
+	tm := comp.Timings()
+	if tm.Total() <= 0 {
+		t.Fatalf("timings not recorded: %+v", tm)
+	}
+	if comp.Fingerprint() == "" {
+		t.Fatal("empty fingerprint")
+	}
+
+	// Compile errors surface from Compile itself.
+	if _, err := deadmembers.Compile(deadmembers.Source{Name: "bad.mcc", Text: "int main() { return z; }"}); err == nil {
+		t.Fatal("want compile error")
+	}
+}
+
+// TestWritesAreUsesOption checks the paper's §2 distinction end to end
+// through the one-shot API: under the default read-based definition the
+// write-only member is dead; treating writes as uses revives it.
+func TestWritesAreUsesOption(t *testing.T) {
+	res, err := deadmembers.AnalyzeSource("w.mcc", reuseExample, deadmembers.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DeadMembers()) != 1 {
+		t.Fatalf("default analysis should find Box::wasted dead, got %v", res.DeadMembers())
+	}
+	res, err = deadmembers.AnalyzeSource("w.mcc", reuseExample, deadmembers.Options{WritesAreUses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DeadMembers()) != 0 {
+		t.Fatalf("WritesAreUses should leave nothing dead, got %v", res.DeadMembers())
+	}
+}
+
+// TestCompileWithWorkers pins that explicit worker counts (sequential and
+// saturated) agree through the public API.
+func TestCompileWithWorkers(t *testing.T) {
+	var lists [2]string
+	for i, workers := range []int{1, 8} {
+		comp, err := deadmembers.CompileWith(deadmembers.CompileConfig{Workers: workers},
+			deadmembers.Source{Name: "reuse.mcc", Text: reuseExample})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, f := range comp.Analyze(deadmembers.Options{}).DeadMembers() {
+			names = append(names, f.QualifiedName())
+		}
+		lists[i] = strings.Join(names, ",")
+	}
+	if lists[0] != lists[1] {
+		t.Fatalf("worker counts disagree: %q vs %q", lists[0], lists[1])
+	}
+}

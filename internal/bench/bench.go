@@ -7,6 +7,7 @@ package bench
 import (
 	"fmt"
 
+	"deadmembers/internal/engine"
 	"deadmembers/internal/frontend"
 )
 
@@ -88,6 +89,17 @@ func All() []*Benchmark {
 		},
 	)
 	return out
+}
+
+// Compile compiles the benchmark's sources in session s. The session
+// caches by content hash, so repeated calls — collection then ablation,
+// or a benchmark loop — run the frontend once per benchmark.
+func (b *Benchmark) Compile(s *engine.Session) (*engine.Compilation, error) {
+	c := s.Compile(b.Sources...)
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return c, nil
 }
 
 // ByName returns the named corpus benchmark.

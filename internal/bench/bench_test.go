@@ -9,7 +9,7 @@ import (
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/dynprof"
-	"deadmembers/internal/frontend"
+	"deadmembers/internal/engine"
 )
 
 // corpusRun caches one analysis+profile per benchmark across tests.
@@ -29,20 +29,21 @@ var (
 func corpus(t *testing.T) []*corpusRun {
 	t.Helper()
 	corpusOnce.Do(func() {
+		session := engine.NewSession(engine.Config{})
 		for _, b := range All() {
-			r := frontend.Compile(b.Sources...)
-			if err := r.Err(); err != nil {
+			c, err := b.Compile(session)
+			if err != nil {
 				corpusErr = err
 				return
 			}
-			res := deadmember.Analyze(r.Program, r.Graph, deadmember.Options{CallGraph: callgraph.RTA})
+			res := c.Analyze(deadmember.Options{CallGraph: callgraph.RTA})
 			prof, err := dynprof.Run(res, dynprof.Options{})
 			if err != nil {
 				corpusErr = err
 				return
 			}
 			corpusRuns = append(corpusRuns, &corpusRun{
-				bench: b, res: res, profile: prof, loc: r.FileSet.TotalCodeLines(),
+				bench: b, res: res, profile: prof, loc: c.FileSet.TotalCodeLines(),
 			})
 		}
 	})

@@ -7,6 +7,7 @@ import (
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/dynprof"
+	"deadmembers/internal/engine"
 	"deadmembers/internal/frontend"
 	"deadmembers/internal/strip"
 )
@@ -52,11 +53,14 @@ func TestRandomizedSpecSweep(t *testing.T) {
 		}
 		src, ground := Generate(spec)
 
-		fr := frontend.Compile(frontend.Source{Name: "sweep.mcc", Text: src})
-		if err := fr.Err(); err != nil {
+		// Route through the engine with the default (all cores) worker
+		// pool: the sweep doubles as a differential test of the parallel
+		// parse and liveness stages against the planted ground truth.
+		c := engine.Compile(engine.Config{}, frontend.Source{Name: "sweep.mcc", Text: src})
+		if err := c.Err(); err != nil {
 			t.Fatalf("case %d (seed %#x): generated program does not compile:\n%v", i, spec.Seed, err)
 		}
-		res := deadmember.Analyze(fr.Program, fr.Graph, deadmember.Options{CallGraph: callgraph.RTA})
+		res := c.Analyze(deadmember.Options{CallGraph: callgraph.RTA})
 
 		got := map[string]bool{}
 		for _, f := range res.DeadMembers() {

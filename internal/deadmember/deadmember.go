@@ -153,8 +153,87 @@ type Result struct {
 	library map[*types.Class]bool
 }
 
+// Exec configures how — not what — Analyze computes. It never changes the
+// Result: any Exec value yields byte-identical classifications.
+type Exec struct {
+	// Workers bounds the number of goroutines marking reachable functions
+	// concurrently. Values ≤ 1 run the paper's sequential loop.
+	Workers int
+
+	// Graph is an optional prebuilt call graph for the same program and
+	// Options (as returned by BuildGraph); when non-nil the construction
+	// step is skipped. Callers must not pass a graph built under different
+	// Options — the reachable set would no longer match Figure 2's.
+	Graph *callgraph.Graph
+}
+
+// BuildGraph constructs the call graph Analyze would build for prog under
+// opts: the selected mode, with user methods that override virtual methods
+// of library classes as extra roots (the library may call them back). It
+// exists so engines can cache graphs across analyses that share a mode.
+func BuildGraph(prog *types.Program, h *hierarchy.Graph, opts Options) *callgraph.Graph {
+	a := newAnalysis(prog, h, opts)
+	return callgraph.Build(prog, h, callgraph.Options{
+		Mode:       opts.CallGraph,
+		ExtraRoots: a.libraryOverrideRoots(),
+	})
+}
+
 // Analyze runs the dead-data-member analysis on a type-checked program.
 func Analyze(prog *types.Program, h *hierarchy.Graph, opts Options) *Result {
+	return AnalyzeWith(prog, h, opts, Exec{})
+}
+
+// AnalyzeWith is Analyze under an explicit execution configuration.
+func AnalyzeWith(prog *types.Program, h *hierarchy.Graph, opts Options, exec Exec) *Result {
+	a := newAnalysis(prog, h, opts)
+
+	// Line 3 of Figure 2: mark all data members initially dead.
+	for _, c := range prog.Classes {
+		for _, f := range c.Fields {
+			a.marks[f] = &Mark{}
+		}
+	}
+
+	// Line 5: construct the call graph. Methods of user classes that
+	// override virtual methods of library classes are extra roots: the
+	// library may call them back.
+	if exec.Graph != nil {
+		a.res.CallGraph = exec.Graph
+	} else {
+		a.res.CallGraph = callgraph.Build(prog, h, callgraph.Options{
+			Mode:       opts.CallGraph,
+			ExtraRoots: a.libraryOverrideRoots(),
+		})
+	}
+
+	// Library members are unclassifiable (paper §3.3).
+	for c := range a.res.library {
+		for _, f := range c.Fields {
+			a.markLive(f, ReasonLibrary, source.NoPos)
+		}
+	}
+
+	// Lines 6-8: process every statement of every reachable function.
+	funcs := a.res.CallGraph.ReachableFuncs()
+	if exec.Workers > 1 && len(funcs) > 1 {
+		a.processFuncsParallel(funcs, exec.Workers)
+	} else {
+		for _, f := range funcs {
+			a.processFunc(f)
+		}
+	}
+
+	// Lines 9-11: union closure, iterated to a fixpoint because marking a
+	// union's contained class members can make another union live.
+	a.unionClosure()
+
+	return a.res
+}
+
+// newAnalysis builds the shared read-only state of one run: the Result
+// shell, the used-class set, and the library designation.
+func newAnalysis(prog *types.Program, h *hierarchy.Graph, opts Options) *analysis {
 	a := &analysis{
 		prog: prog,
 		h:    h,
@@ -170,55 +249,26 @@ func Analyze(prog *types.Program, h *hierarchy.Graph, opts Options) *Result {
 		},
 		visited: map[*types.Class]bool{},
 	}
+	a.marks = a.res.marks
 	for _, name := range opts.LibraryClasses {
 		if c, ok := prog.ClassByName[name]; ok {
-			c.Library = true
 			a.res.library[c] = true
 		}
 	}
-
-	// Line 3 of Figure 2: mark all data members initially dead.
-	for _, c := range prog.Classes {
-		for _, f := range c.Fields {
-			a.res.marks[f] = &Mark{}
-		}
-	}
-
-	// Line 5: construct the call graph. Methods of user classes that
-	// override virtual methods of library classes are extra roots: the
-	// library may call them back.
-	a.res.CallGraph = callgraph.Build(prog, h, callgraph.Options{
-		Mode:       opts.CallGraph,
-		ExtraRoots: a.libraryOverrideRoots(),
-	})
-
-	// Library members are unclassifiable (paper §3.3).
-	for c := range a.res.library {
-		for _, f := range c.Fields {
-			a.markLive(f, ReasonLibrary, source.NoPos)
-		}
-	}
-
-	// Lines 6-8: process every statement of every reachable function.
-	for _, f := range a.res.CallGraph.ReachableFuncs() {
-		a.processFunc(f)
-	}
-
-	// Lines 9-11: union closure, iterated to a fixpoint because marking a
-	// union's contained class members can make another union live.
-	a.unionClosure()
-
-	return a.res
+	return a
 }
 
-// analysis carries the mutable state of one run.
+// analysis carries the mutable state of one run. In the parallel liveness
+// pass each worker gets its own analysis value whose marks map is a
+// private sink; prog, h, info, opts, and res are shared read-only.
 type analysis struct {
 	prog    *types.Program
 	h       *hierarchy.Graph
 	info    *types.Info
 	opts    Options
 	res     *Result
-	visited map[*types.Class]bool // MarkAllContainedMembers visited set
+	marks   map[*types.Field]*Mark // mark sink (res.marks, or worker-local)
+	visited map[*types.Class]bool  // MarkAllContainedMembers visited set
 }
 
 // libraryOverrideRoots returns user methods that override virtual methods
@@ -265,10 +315,10 @@ func (a *analysis) allBases(c *types.Class) map[*types.Class]bool {
 }
 
 func (a *analysis) markLive(f *types.Field, why Reason, at source.Pos) {
-	m := a.res.marks[f]
+	m := a.marks[f]
 	if m == nil {
 		m = &Mark{}
-		a.res.marks[f] = m
+		a.marks[f] = m
 	}
 	if m.Live {
 		return
@@ -318,7 +368,7 @@ func (a *analysis) unionClosure() {
 			anyLive := false
 			allLive := true
 			for _, f := range c.Fields {
-				if a.res.marks[f].Live {
+				if a.marks[f].Live {
 					anyLive = true
 				} else {
 					allLive = false

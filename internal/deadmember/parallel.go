@@ -1,0 +1,87 @@
+package deadmember
+
+import (
+	"sync"
+
+	"deadmembers/internal/types"
+)
+
+// This file implements the parallel liveness pass: lines 6-8 of the
+// paper's Figure 2 sharded across worker goroutines.
+//
+// The sequential loop's only order-sensitive output is the Reason/Witness
+// pair recorded for each member — markLive keeps the *first* access that
+// made a member live, in the deterministic ReachableFuncs order. To keep
+// that exact semantics under parallelism:
+//
+//   - the sorted function list is split into CONTIGUOUS shards, one per
+//     worker, each processed in order into a worker-private mark map
+//     (first-win within the shard);
+//   - the shard maps are merged back in shard order, adopting a mark only
+//     if the member is not yet live.
+//
+// Because shards are contiguous blocks of the sequential order, the
+// earliest shard containing a mark for a member holds exactly the mark
+// the sequential loop would have recorded, so the merged Result is
+// byte-identical regardless of the worker count or GOMAXPROCS.
+//
+// Workers share prog/h/info/res strictly read-only: processFunc touches
+// only the side tables of types.Info (plain map reads) and its private
+// marks/visited maps, so the pass is race-free by construction (guarded
+// by the engine's -race test).
+
+// processFuncsParallel shards funcs (already in deterministic order)
+// across workers and merges the per-worker mark sets into a.marks.
+func (a *analysis) processFuncsParallel(funcs []*types.Func, workers int) {
+	if workers > len(funcs) {
+		workers = len(funcs)
+	}
+	shards := make([]map[*types.Field]*Mark, workers)
+	chunk := (len(funcs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(funcs) {
+			hi = len(funcs)
+		}
+		if lo >= hi {
+			break
+		}
+		sink := map[*types.Field]*Mark{}
+		shards[w] = sink
+		wg.Add(1)
+		go func(fns []*types.Func, sink map[*types.Field]*Mark) {
+			defer wg.Done()
+			worker := &analysis{
+				prog:    a.prog,
+				h:       a.h,
+				info:    a.info,
+				opts:    a.opts,
+				res:     a.res,
+				marks:   sink,
+				visited: map[*types.Class]bool{},
+			}
+			for _, f := range fns {
+				worker.processFunc(f)
+			}
+		}(funcs[lo:hi], sink)
+	}
+	wg.Wait()
+
+	// Deterministic merge: shard order is sequential order, so the first
+	// live mark seen here is the one the sequential loop would keep.
+	for _, shard := range shards {
+		for f, m := range shard {
+			if !m.Live {
+				continue
+			}
+			dst := a.marks[f]
+			if dst == nil {
+				a.marks[f] = m
+			} else if !dst.Live {
+				*dst = *m
+			}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package engine is the staged analysis pipeline behind the public API:
+//
+//	Lex/Parse → Sema → CallGraph → Liveness → Profile/Strip
+//
+// It exists so callers compile once and analyze many times. The frontend
+// stages produce an explicit Compilation artifact; the analysis stages run
+// against it under any number of deadmember.Options without re-lexing,
+// re-parsing, or re-typechecking. On top of that the engine provides:
+//
+//   - parallel per-file parsing through a bounded worker pool;
+//   - a parallel liveness pass (see internal/deadmember/parallel.go) whose
+//     Result is byte-identical regardless of worker count;
+//   - a per-Compilation call-graph cache keyed by the options that affect
+//     graph construction (mode + library classes), so ablation sweeps that
+//     vary only marking rules share one graph;
+//   - a content-hash-keyed Session cache (see session.go) so repeated
+//     compilations of identical sources skip the frontend entirely;
+//   - wall-clock timings for every stage, so speedups are observable
+//     without a profiler.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"deadmembers/internal/ast"
+	"deadmembers/internal/callgraph"
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/dynprof"
+	"deadmembers/internal/frontend"
+	"deadmembers/internal/hierarchy"
+	"deadmembers/internal/interp"
+	"deadmembers/internal/parser"
+	"deadmembers/internal/sema"
+	"deadmembers/internal/source"
+	"deadmembers/internal/strip"
+	"deadmembers/internal/types"
+)
+
+// Source is one named MC++ source file (re-exported from the frontend so
+// engine callers need only this package).
+type Source = frontend.Source
+
+// Config controls pipeline execution, never results.
+type Config struct {
+	// Workers bounds the parallelism of the parse and liveness stages.
+	// 0 means GOMAXPROCS; 1 forces sequential execution.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// Timings records per-stage wall-clock durations. Parse and Sema are
+// properties of the Compilation; CallGraph and Liveness of one Analyze
+// call (CallGraph is zero when the graph came from the per-compilation
+// cache, flagged by CallGraphCached).
+type Timings struct {
+	Parse     time.Duration // lexing + type prescan + parsing (parallel wall clock)
+	Sema      time.Duration
+	CallGraph time.Duration
+	Liveness  time.Duration
+
+	CallGraphCached bool
+}
+
+// Add accumulates other into t (for corpus-wide summaries).
+func (t *Timings) Add(other Timings) {
+	t.Parse += other.Parse
+	t.Sema += other.Sema
+	t.CallGraph += other.CallGraph
+	t.Liveness += other.Liveness
+}
+
+// Total sums the stage durations.
+func (t Timings) Total() time.Duration {
+	return t.Parse + t.Sema + t.CallGraph + t.Liveness
+}
+
+// Compilation is the immutable artifact of the frontend stages: a typed
+// program plus everything needed to analyze it repeatedly.
+type Compilation struct {
+	Program   *types.Program
+	Hierarchy *hierarchy.Graph
+	FileSet   *source.FileSet
+	Diags     *source.DiagnosticList
+
+	// Sources are the inputs, retained so transforms can recompile.
+	Sources []Source
+
+	// Fingerprint is the content hash keying the session cache.
+	Fingerprint string
+
+	cfg      Config
+	timings  Timings // Parse + Sema only
+	consumed bool    // set by Strip: the ASTs were mutated
+
+	mu     sync.Mutex
+	graphs map[string]*callgraph.Graph
+}
+
+// Err returns an error if any frontend phase reported errors.
+func (c *Compilation) Err() error { return c.Diags.Err() }
+
+// Timings returns the frontend stage durations of this compilation.
+func (c *Compilation) Timings() Timings { return c.timings }
+
+// Compile runs the frontend stages over sources: a parallel type-name
+// prescan, parallel per-file parsing (per-file diagnostic lists merged in
+// file order, so diagnostics are deterministic), then semantic analysis.
+// The result always carries a (possibly partial) program; check Err
+// before trusting it.
+func Compile(cfg Config, sources ...Source) *Compilation {
+	c := &Compilation{
+		Sources:     sources,
+		Fingerprint: fingerprint(sources),
+		cfg:         cfg,
+		graphs:      map[string]*callgraph.Graph{},
+	}
+	workers := cfg.workers()
+
+	parseStart := time.Now()
+	fset := source.NewFileSet()
+	diags := source.NewDiagnosticList(fset)
+	srcFiles := make([]*source.File, len(sources))
+	for i, s := range sources {
+		srcFiles[i] = fset.AddFile(s.Name, s.Text)
+	}
+
+	// Stage 1a: pre-scan every file for declared type names, so class
+	// names declared in one file are known while parsing the others.
+	typeSets := make([]map[string]bool, len(srcFiles))
+	parallelFor(workers, len(srcFiles), func(i int) {
+		typeSets[i] = parser.CollectTypeNames(srcFiles[i])
+	})
+	allTypes := map[string]bool{}
+	for _, set := range typeSets {
+		for name := range set {
+			allTypes[name] = true
+		}
+	}
+
+	// Stage 1b: parse each file independently into its own diagnostic
+	// list; merge in file order afterwards.
+	files := make([]*ast.File, len(srcFiles))
+	fileDiags := make([]*source.DiagnosticList, len(srcFiles))
+	parallelFor(workers, len(srcFiles), func(i int) {
+		fileDiags[i] = source.NewDiagnosticList(fset)
+		files[i] = parser.ParseFileWithTypes(srcFiles[i], fileDiags[i], allTypes)
+	})
+	for _, dl := range fileDiags {
+		diags.Extend(dl)
+	}
+	c.timings.Parse = time.Since(parseStart)
+
+	// Stage 2: semantic analysis (whole-program, sequential).
+	semaStart := time.Now()
+	prog, graph := sema.Check(fset, files, diags)
+	c.timings.Sema = time.Since(semaStart)
+
+	c.Program = prog
+	c.Hierarchy = graph
+	c.FileSet = fset
+	c.Diags = diags
+	return c
+}
+
+// parallelFor runs fn(0..n-1) on up to `workers` goroutines. With one
+// worker (or one item) it runs inline, keeping single-threaded traces
+// clean.
+func parallelFor(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// graphKey identifies the options that affect call-graph construction:
+// the mode and the library-class designation (whose virtual overriders
+// become extra roots). Marking rules (sizeof, delete, writes-are-uses,
+// downcasts) do not change the graph and share cache entries.
+func graphKey(opts deadmember.Options) string {
+	return opts.CallGraph.String() + "\x00" + strings.Join(opts.LibraryClasses, "\x00")
+}
+
+// graphFor returns the call graph for opts, building and caching it on
+// first use. The build runs under the compilation lock: hierarchy lookup
+// caches are lazily populated during construction, so concurrent builds
+// must be serialized.
+func (c *Compilation) graphFor(opts deadmember.Options) (g *callgraph.Graph, cached bool, took time.Duration) {
+	key := graphKey(opts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.graphs[key]; ok {
+		return g, true, 0
+	}
+	start := time.Now()
+	g = deadmember.BuildGraph(c.Program, c.Hierarchy, opts)
+	took = time.Since(start)
+	c.graphs[key] = g
+	return g, false, took
+}
+
+// Analyze runs the dead-data-member analysis against the compilation.
+// Repeated calls under different Options reuse the frontend artifact (and
+// the call graph, when only marking rules differ).
+func (c *Compilation) Analyze(opts deadmember.Options) *deadmember.Result {
+	res, _ := c.AnalyzeTimed(opts)
+	return res
+}
+
+// AnalyzeTimed is Analyze plus the per-stage wall-clock timings of this
+// call (Parse/Sema are the compilation's, CallGraph/Liveness this run's).
+func (c *Compilation) AnalyzeTimed(opts deadmember.Options) (*deadmember.Result, Timings) {
+	t := c.timings
+	g, cached, graphTime := c.graphFor(opts)
+	t.CallGraph = graphTime
+	t.CallGraphCached = cached
+
+	liveStart := time.Now()
+	res := deadmember.AnalyzeWith(c.Program, c.Hierarchy, opts, deadmember.Exec{
+		Workers: c.cfg.workers(),
+		Graph:   g,
+	})
+	t.Liveness = time.Since(liveStart)
+	return res, t
+}
+
+// Profile analyzes and then executes the program with an instrumented
+// heap, attributing bytes to the dead members found.
+func (c *Compilation) Profile(opts deadmember.Options, dopts dynprof.Options) (*dynprof.Profile, error) {
+	return dynprof.Run(c.Analyze(opts), dopts)
+}
+
+// Run executes the program without instrumentation.
+func (c *Compilation) Run() (*interp.Result, error) {
+	return interp.Run(c.Program, c.Hierarchy, interp.Options{})
+}
+
+// Strip analyzes and applies the dead-member elimination transform.
+//
+// The transform consumes the compilation: it rewrites the ASTs in place
+// (see strip.Apply), so this compilation must not be analyzed or executed
+// afterwards — recompile Result.Sources instead. Session caches treat a
+// consumed compilation as evicted.
+func (c *Compilation) Strip(opts deadmember.Options, sopts strip.Options) *strip.Result {
+	res := c.Analyze(opts)
+	c.mu.Lock()
+	c.consumed = true
+	c.mu.Unlock()
+	return strip.Apply(res, sopts)
+}
+
+// Consumed reports whether Strip has invalidated this compilation.
+func (c *Compilation) Consumed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.consumed
+}
+
+// fingerprint hashes the source names and texts (length-prefixed, so
+// concatenation ambiguities cannot collide) into a stable hex key.
+func fingerprint(sources []Source) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	writePart := func(s string) {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(s)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(s))
+	}
+	for _, s := range sources {
+		writePart(s.Name)
+		writePart(s.Text)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -7,7 +7,7 @@ import (
 	"deadmembers/internal/bench"
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
-	"deadmembers/internal/frontend"
+	"deadmembers/internal/engine"
 )
 
 // AblationRow records the dead-member count for one benchmark under each
@@ -36,33 +36,49 @@ type AblationRow struct {
 
 // RunAblations analyzes every corpus benchmark under each variant.
 func RunAblations() ([]*AblationRow, error) {
+	return RunAblationsIn(engine.NewSession(engine.Config{}))
+}
+
+// RunAblationsIn runs the sweep against a shared engine session: each
+// benchmark is compiled exactly once (or not at all, if the session
+// already holds it from an earlier collection), and the four RTA-mode
+// variants share one cached call graph — only the liveness pass reruns.
+func RunAblationsIn(s *engine.Session) ([]*AblationRow, error) {
 	var out []*AblationRow
 	for _, b := range bench.All() {
-		r := frontend.Compile(b.Sources...)
-		if err := r.Err(); err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		c, err := b.Compile(s)
+		if err != nil {
+			return nil, err
 		}
 		row := &AblationRow{Name: b.Name}
-		variants := []struct {
-			opts deadmember.Options
-			dst  *int
-		}{
-			{deadmember.Options{CallGraph: callgraph.ALL}, &row.DeadALL},
-			{deadmember.Options{CallGraph: callgraph.CHA}, &row.DeadCHA},
-			{deadmember.Options{CallGraph: callgraph.RTA}, &row.DeadRTA},
-			{deadmember.Options{CallGraph: callgraph.RTA, Sizeof: deadmember.SizeofConservative}, &row.DeadSizeofConservative},
-			{deadmember.Options{CallGraph: callgraph.RTA, NoDeleteSpecialCase: true}, &row.DeadNoDeleteRule},
-			{deadmember.Options{CallGraph: callgraph.RTA, WritesAreUses: true}, &row.DeadWritesAreUses},
-		}
-		for _, v := range variants {
-			res := deadmember.Analyze(r.Program, r.Graph, v.opts)
-			s := res.Stats()
-			*v.dst = s.DeadMembers
-			row.Members = s.Members
+		for _, v := range ablationVariants(row) {
+			res := c.Analyze(v.opts)
+			st := res.Stats()
+			*v.dst = st.DeadMembers
+			row.Members = st.Members
 		}
 		out = append(out, row)
 	}
 	return out, nil
+}
+
+// ablationVariant pairs one analysis configuration with the row field it
+// fills in.
+type ablationVariant struct {
+	opts deadmember.Options
+	dst  *int
+}
+
+// ablationVariants is the sweep's variant list, wired to a row's fields.
+func ablationVariants(row *AblationRow) []ablationVariant {
+	return []ablationVariant{
+		{deadmember.Options{CallGraph: callgraph.ALL}, &row.DeadALL},
+		{deadmember.Options{CallGraph: callgraph.CHA}, &row.DeadCHA},
+		{deadmember.Options{CallGraph: callgraph.RTA}, &row.DeadRTA},
+		{deadmember.Options{CallGraph: callgraph.RTA, Sizeof: deadmember.SizeofConservative}, &row.DeadSizeofConservative},
+		{deadmember.Options{CallGraph: callgraph.RTA, NoDeleteSpecialCase: true}, &row.DeadNoDeleteRule},
+		{deadmember.Options{CallGraph: callgraph.RTA, WritesAreUses: true}, &row.DeadWritesAreUses},
+	}
 }
 
 // AblationTable renders the ablation results: how many dead members each

@@ -14,7 +14,7 @@ import (
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/dynprof"
-	"deadmembers/internal/frontend"
+	"deadmembers/internal/engine"
 )
 
 // BenchmarkResult is everything measured for one corpus benchmark.
@@ -38,31 +38,43 @@ type BenchmarkResult struct {
 	HighWaterWo    int64
 	DynDeadPercent float64
 	HWMReduction   float64
+
+	// Timings are the per-stage wall-clock durations of this benchmark's
+	// pipeline run (Parse/Sema from the compilation, CallGraph/Liveness
+	// from the RTA analysis).
+	Timings engine.Timings
 }
 
 // Collect runs analysis and instrumented execution for one benchmark.
 func Collect(b *bench.Benchmark) (*BenchmarkResult, error) {
-	r := frontend.Compile(b.Sources...)
-	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	return CollectIn(engine.NewSession(engine.Config{}), b)
+}
+
+// CollectIn is Collect against a shared engine session: the benchmark's
+// frontend compile is cached, so a subsequent ablation sweep (or repeated
+// collection) reuses the same Compilation.
+func CollectIn(s *engine.Session, b *bench.Benchmark) (*BenchmarkResult, error) {
+	c, err := b.Compile(s)
+	if err != nil {
+		return nil, err
 	}
-	res := deadmember.Analyze(r.Program, r.Graph, deadmember.Options{CallGraph: callgraph.RTA})
+	res, timings := c.AnalyzeTimed(deadmember.Options{CallGraph: callgraph.RTA})
 	prof, err := dynprof.Run(res, dynprof.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
-	s := res.Stats()
+	st := res.Stats()
 	l := prof.Ledger
 	return &BenchmarkResult{
 		Name:        b.Name,
 		Description: b.Description,
 		Paper:       b.Paper,
-		LOC:         r.FileSet.TotalCodeLines(),
-		Classes:     s.Classes,
-		UsedClasses: s.UsedClasses,
-		Members:     s.Members,
-		DeadMembers: s.DeadMembers,
-		DeadPercent: s.DeadPercent(),
+		LOC:         c.FileSet.TotalCodeLines(),
+		Classes:     st.Classes,
+		UsedClasses: st.UsedClasses,
+		Members:     st.Members,
+		DeadMembers: st.DeadMembers,
+		DeadPercent: st.DeadPercent(),
 
 		ObjectSpace:    l.TotalBytes,
 		DeadSpace:      l.DeadBytes,
@@ -70,20 +82,56 @@ func Collect(b *bench.Benchmark) (*BenchmarkResult, error) {
 		HighWaterWo:    l.AdjustedHighWater,
 		DynDeadPercent: l.DeadPercent(),
 		HWMReduction:   l.HighWaterReductionPercent(),
+
+		Timings: timings,
 	}, nil
 }
 
 // CollectAll measures the whole corpus in presentation order.
 func CollectAll() ([]*BenchmarkResult, error) {
+	return CollectAllIn(engine.NewSession(engine.Config{}))
+}
+
+// CollectAllIn measures the whole corpus against a shared engine session,
+// compiling each benchmark at most once per session.
+func CollectAllIn(s *engine.Session) ([]*BenchmarkResult, error) {
 	var out []*BenchmarkResult
 	for _, b := range bench.All() {
-		r, err := Collect(b)
+		r, err := CollectIn(s, b)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// TimingsTable renders the per-benchmark, per-stage wall-clock durations
+// recorded while collecting results, plus the session cache counters —
+// the observability hook for the engine's compile-once and parallel
+// stages (run paperbench -timings, or deadmem -verbose, to see it).
+func TimingsTable(results []*BenchmarkResult, stats engine.Stats) string {
+	var b strings.Builder
+	b.WriteString("Per-stage wall-clock timings (one RTA analysis per benchmark)\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s %12s\n",
+		"benchmark", "parse", "sema", "callgraph", "liveness", "total")
+	b.WriteString(strings.Repeat("-", 76) + "\n")
+	var sum engine.Timings
+	for _, r := range results {
+		t := r.Timings
+		sum.Add(t)
+		graph := t.CallGraph.String()
+		if t.CallGraphCached {
+			graph = "cached"
+		}
+		fmt.Fprintf(&b, "%-10s %12v %12v %12s %12v %12v\n",
+			r.Name, t.Parse, t.Sema, graph, t.Liveness, t.Total())
+	}
+	fmt.Fprintf(&b, "%-10s %12v %12v %12v %12v %12v\n",
+		"total", sum.Parse, sum.Sema, sum.CallGraph, sum.Liveness, sum.Total())
+	fmt.Fprintf(&b, "\nsession: %d frontend compile(s), %d cache hit(s)\n",
+		stats.Compiles, stats.Hits)
+	return b.String()
 }
 
 // Table1 renders the benchmark characteristics table (paper Table 1),

@@ -4,6 +4,11 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"deadmembers/internal/bench"
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/engine"
+	"deadmembers/internal/frontend"
 )
 
 var (
@@ -206,5 +211,52 @@ func TestAblations(t *testing.T) {
 	out := AblationTable(rows)
 	if !strings.Contains(out, "Ablations") || !strings.Contains(out, "RTA") {
 		t.Error("ablation table rendering incomplete")
+	}
+}
+
+// TestAblationSweepCompilesOncePerBenchmark is the compile-counter check
+// for the engine's core economy: the corpus-wide six-variant ablation
+// sweep performs exactly one frontend compile per benchmark, every later
+// exhibit over the same session is a pure cache hit, and the resulting
+// table is byte-identical to the one produced by recompiling per variant
+// with the pre-engine frontend path.
+func TestAblationSweepCompilesOncePerBenchmark(t *testing.T) {
+	s := engine.NewSession(engine.Config{})
+	rows, err := RunAblationsIn(s)
+	if err != nil {
+		t.Fatalf("RunAblationsIn: %v", err)
+	}
+	n := len(bench.All())
+	if st := s.Stats(); st.Compiles != n || st.Hits != 0 {
+		t.Fatalf("ablation sweep stats = %+v, want exactly %d compiles and 0 hits", st, n)
+	}
+
+	// A full result collection afterwards must not compile anything new.
+	if _, err := CollectAllIn(s); err != nil {
+		t.Fatalf("CollectAllIn: %v", err)
+	}
+	if st := s.Stats(); st.Compiles != n || st.Hits != n {
+		t.Fatalf("after collection stats = %+v, want still %d compiles and %d hits", st, n, n)
+	}
+
+	// Seed-equivalence: recompute every row the old way — one frontend
+	// compile and one analysis per (benchmark, variant) — and require the
+	// rendered tables to match byte-for-byte.
+	var seed []*AblationRow
+	for _, b := range bench.All() {
+		row := &AblationRow{Name: b.Name}
+		for _, v := range ablationVariants(row) {
+			r := frontend.Compile(b.Sources...)
+			if err := r.Err(); err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			st := deadmember.Analyze(r.Program, r.Graph, v.opts).Stats()
+			*v.dst = st.DeadMembers
+			row.Members = st.Members
+		}
+		seed = append(seed, row)
+	}
+	if got, want := AblationTable(rows), AblationTable(seed); got != want {
+		t.Fatalf("engine ablation table differs from the recompile-per-variant table:\n--- engine ---\n%s--- seed ---\n%s", got, want)
 	}
 }

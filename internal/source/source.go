@@ -280,6 +280,13 @@ func (dl *DiagnosticList) Warningf(pos Pos, format string, args ...interface{}) 
 // All returns the accumulated diagnostics in insertion order.
 func (dl *DiagnosticList) All() []Diagnostic { return dl.diags }
 
+// Extend appends every diagnostic of other, preserving order. It lets a
+// phase that ran on per-file lists (e.g. parallel parsing) merge its
+// output back into the program-wide list deterministically.
+func (dl *DiagnosticList) Extend(other *DiagnosticList) {
+	dl.diags = append(dl.diags, other.diags...)
+}
+
 // ErrorCount returns the number of Error-severity diagnostics.
 func (dl *DiagnosticList) ErrorCount() int {
 	n := 0
