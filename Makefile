@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench fuzz ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Short fuzzing smoke over each target (the checked-in corpus under
+# testdata/fuzz/ is replayed by plain `make test` already).
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz=FuzzCompile -fuzztime=$(FUZZTIME) .
+	$(GO) test -fuzz=FuzzAnalyze -fuzztime=$(FUZZTIME) .
+	$(GO) test -fuzz=FuzzStripRoundTrip -fuzztime=$(FUZZTIME) .
 
 # What CI runs (see .github/workflows/ci.yml).
 ci: build vet race

@@ -6,10 +6,12 @@
 //	deadmem [flags] file.mcc [more.mcc ...]
 //
 // Exit status is 0 on success (even when dead members are found), 1 on
-// compilation errors, 2 on usage errors.
+// compilation errors, degraded runs (a pipeline stage crashed and was
+// contained), timeouts, and internal errors, 2 on usage errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,10 +25,17 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "deadmem: internal error: %v\n", r)
+			code = 1
+		}
+	}()
 	fs := flag.NewFlagSet("deadmem", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		timeout        = fs.Duration("timeout", 0, "abort the run after this duration (e.g. 30s; 0 = no limit)")
 		callgraphMode  = fs.String("callgraph", "rta", "call graph construction: rta, cha, or all")
 		sizeofPolicy   = fs.String("sizeof", "ignore", "sizeof policy: ignore (paper setting) or conservative")
 		noDeleteRule   = fs.Bool("no-delete-rule", false, "disable the delete/free special case")
@@ -87,12 +96,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sources = append(sources, deadmembers.Source{Name: path, Text: string(text)})
 	}
 
-	comp, err := deadmembers.CompileWith(deadmembers.CompileConfig{Workers: *parallel}, sources...)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	comp, err := deadmembers.CompileWithContext(ctx, deadmembers.CompileConfig{Workers: *parallel}, sources...)
 	if err != nil {
 		fmt.Fprintf(stderr, "deadmem: %v\n", err)
 		return 1
 	}
-	res, timings := comp.AnalyzeTimed(opts)
+	res, timings, err := comp.AnalyzeTimedContext(ctx, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "deadmem: %v\n", err)
+		return 1
+	}
+	degraded := comp.Degraded() || res.Degraded()
+	for _, f := range comp.Failures() {
+		fmt.Fprintf(stderr, "deadmem: degraded: %v\n", f)
+	}
+	for _, f := range res.Failures {
+		fmt.Fprintf(stderr, "deadmem: degraded: %v\n", f)
+	}
 
 	dead := res.DeadMembers()
 	if len(dead) == 0 {
@@ -145,6 +172,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	s := res.Stats()
 	fmt.Fprintf(stdout, "\n%d classes (%d used), %d data members in used classes, %d dead (%.1f%%)\n",
 		s.Classes, s.UsedClasses, s.Members, s.DeadMembers, s.DeadPercent())
+	if degraded {
+		fmt.Fprintln(stdout, "RESULT DEGRADED: a pipeline stage crashed and was contained; see stderr")
+	}
 
 	if *stageTimings {
 		fmt.Fprintf(stdout, "\nengine stage timings:\n")
@@ -153,6 +183,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "  callgraph  %12v\n", timings.CallGraph)
 		fmt.Fprintf(stdout, "  liveness   %12v\n", timings.Liveness)
 		fmt.Fprintf(stdout, "  total      %12v\n", timings.Total())
+	}
+	if degraded {
+		return 1
 	}
 	return 0
 }

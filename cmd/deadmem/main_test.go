@@ -191,3 +191,33 @@ func TestCompileErrorExit(t *testing.T) {
 		t.Errorf("stderr missing diagnostic:\n%s", errOut.String())
 	}
 }
+
+func TestMissingInputExit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.mcc")
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Errorf("missing input should exit 1, got %d", code)
+	}
+	msg := errOut.String()
+	if !strings.HasPrefix(msg, "deadmem: ") || strings.Count(strings.TrimRight(msg, "\n"), "\n") != 0 {
+		t.Errorf("want a one-line deadmem diagnostic, got:\n%s", msg)
+	}
+	if strings.Contains(msg, "goroutine") {
+		t.Errorf("diagnostic must not include a Go stack trace:\n%s", msg)
+	}
+}
+
+func TestTimeoutFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.mcc")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A generous timeout must not perturb a normal run.
+	var out, errOut strings.Builder
+	if code := run([]string{"-timeout", "1m", path}, &out, &errOut); code != 0 {
+		t.Fatalf("run with -timeout 1m failed (%d):\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Gadget::unused") {
+		t.Errorf("output missing dead member:\n%s", out.String())
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,10 +24,17 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "deadstrip: internal error: %v\n", r)
+			code = 1
+		}
+	}()
 	fs := flag.NewFlagSet("deadstrip", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		timeout         = fs.Duration("timeout", 0, "abort the run after this duration (e.g. 30s; 0 = no limit)")
 		keepUnreachable = fs.Bool("keep-unreachable", false, "do not remove unreachable functions")
 		verify          = fs.Bool("verify", true, "run original and stripped programs and compare behaviour")
 		parallel        = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
@@ -50,12 +58,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sources = append(sources, deadmembers.Source{Name: path, Text: string(text)})
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	// Compile once; the same compilation serves the verification run of
 	// the original program and the strip transform (which consumes it).
 	cfg := deadmembers.CompileConfig{Workers: *parallel}
-	comp, err := deadmembers.CompileWith(cfg, sources...)
+	comp, err := deadmembers.CompileWithContext(ctx, cfg, sources...)
 	if err != nil {
 		fmt.Fprintf(stderr, "deadstrip: %v\n", err)
+		return 1
+	}
+	if comp.Degraded() {
+		// A degraded analysis could misclassify members: never emit a
+		// transform derived from salvaged results.
+		for _, f := range comp.Failures() {
+			fmt.Fprintf(stderr, "deadstrip: degraded: %v\n", f)
+		}
+		fmt.Fprintf(stderr, "deadstrip: refusing to strip from a degraded compilation\n")
 		return 1
 	}
 
@@ -63,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *verify {
 		// Run the original before stripping: the transform rewrites the
 		// compiled syntax trees in place.
-		before, err = comp.Run()
+		before, err = comp.RunContext(ctx)
 		if err != nil {
 			fmt.Fprintf(stderr, "deadstrip: original does not run: %v\n", err)
 			return 1
@@ -85,12 +109,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *verify {
-		stripped, err := deadmembers.CompileWith(cfg, out.Sources...)
+		stripped, err := deadmembers.CompileWithContext(ctx, cfg, out.Sources...)
 		if err != nil {
 			fmt.Fprintf(stderr, "deadstrip: stripped program does not compile: %v\n", err)
 			return 1
 		}
-		after, err := stripped.Run()
+		after, err := stripped.RunContext(ctx)
 		if err != nil {
 			fmt.Fprintf(stderr, "deadstrip: stripped program does not run: %v\n", err)
 			return 1

@@ -6,10 +6,12 @@
 //	mccrun [flags] file.mcc [more.mcc ...]
 //
 // The process exits with the interpreted program's exit code; compile or
-// runtime errors exit with 1, usage errors with 2.
+// runtime errors, timeouts, and internal errors exit with 1, usage errors
+// with 2.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,10 +24,17 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "mccrun: internal error: %v\n", r)
+			code = 1
+		}
+	}()
 	fs := flag.NewFlagSet("mccrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		timeout  = fs.Duration("timeout", 0, "abort compilation and execution after this duration (e.g. 30s; 0 = no limit)")
 		profile  = fs.Bool("profile", false, "run the dead-member analysis and report heap statistics")
 		maxSteps = fs.Int64("max-steps", 0, "statement execution limit (0 = default)")
 		parallel = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
@@ -49,19 +58,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sources = append(sources, deadmembers.Source{Name: path, Text: string(text)})
 	}
 
-	comp, err := deadmembers.CompileWith(deadmembers.CompileConfig{Workers: *parallel}, sources...)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	comp, err := deadmembers.CompileWithContext(ctx, deadmembers.CompileConfig{Workers: *parallel}, sources...)
 	if err != nil {
 		fmt.Fprintf(stderr, "mccrun: %v\n", err)
 		return 1
 	}
+	for _, f := range comp.Failures() {
+		fmt.Fprintf(stderr, "mccrun: degraded: %v\n", f)
+	}
 
 	if *profile {
-		prof, err := comp.Profile(deadmembers.Options{MaxSteps: *maxSteps})
+		prof, err := comp.ProfileContext(ctx, deadmembers.Options{MaxSteps: *maxSteps})
 		if err != nil {
 			fmt.Fprintf(stderr, "mccrun: %v\n", err)
 			return 1
 		}
 		fmt.Fprint(stdout, prof.Exec.Output)
+		if prof.AccountingErr != nil {
+			fmt.Fprintf(stderr, "mccrun: degraded: %v\n", prof.AccountingErr)
+		}
 		l := prof.Ledger
 		fmt.Fprintf(stderr, "---- heap profile ----\n")
 		fmt.Fprintf(stderr, "objects allocated:        %d\n", l.TotalObjects)
@@ -74,14 +96,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "  %-24s %8d objects %10d bytes %8d dead\n",
 				st.Class.Name, st.Count, st.Bytes, st.Dead)
 		}
+		if comp.Degraded() || prof.AccountingErr != nil {
+			return 1
+		}
 		return prof.Exec.ExitCode
 	}
 
-	res, err := comp.Run()
+	res, err := comp.RunContext(ctx)
 	if err != nil {
 		fmt.Fprintf(stderr, "mccrun: %v\n", err)
 		return 1
 	}
 	fmt.Fprint(stdout, res.Output)
+	if comp.Degraded() {
+		return 1
+	}
 	return res.ExitCode
 }

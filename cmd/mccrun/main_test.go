@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func write(t *testing.T, name, text string) string {
@@ -79,5 +80,36 @@ func TestUsage(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(nil, &out, &errOut); code != 2 {
 		t.Errorf("no args should exit 2, got %d", code)
+	}
+}
+
+func TestMissingInputExit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.mcc")
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Errorf("missing input should exit 1, got %d", code)
+	}
+	msg := errOut.String()
+	if !strings.HasPrefix(msg, "mccrun: ") || strings.Count(strings.TrimRight(msg, "\n"), "\n") != 0 {
+		t.Errorf("want a one-line mccrun diagnostic, got:\n%s", msg)
+	}
+	if strings.Contains(msg, "goroutine") {
+		t.Errorf("diagnostic must not include a Go stack trace:\n%s", msg)
+	}
+}
+
+func TestTimeoutAbortsRun(t *testing.T) {
+	path := write(t, "spin.mcc", `
+int main() { int n = 0; while (true) { n = n + 1; } return n; }`)
+	var out, errOut strings.Builder
+	start := time.Now()
+	if code := run([]string{"-timeout", "50ms", path}, &out, &errOut); code != 1 {
+		t.Fatalf("timed-out run should exit 1, got %d", code)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run took %v to honor a 50ms timeout", elapsed)
+	}
+	if !strings.Contains(errOut.String(), "deadline") {
+		t.Errorf("stderr missing deadline diagnostic:\n%s", errOut.String())
 	}
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,10 +33,17 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "paperbench: internal error: %v\n", r)
+			code = 1
+		}
+	}()
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		timeout  = fs.Duration("timeout", 0, "abort the whole evaluation after this duration (e.g. 2m; 0 = no limit)")
 		table1   = fs.Bool("table1", false, "benchmark characteristics (paper Table 1)")
 		figure3  = fs.Bool("figure3", false, "static dead-member percentages (paper Figure 3)")
 		table2   = fs.Bool("table2", false, "dynamic byte counts (paper Table 2)")
@@ -65,8 +73,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	all := !*table1 && !*figure3 && !*table2 && !*figure4 && !*summary && !*ablation && !*timings && !*csvOut
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	session := engine.NewSession(engine.Config{Workers: *parallel})
-	results, err := report.CollectAllIn(session)
+	results, err := report.CollectAllInContext(ctx, session)
 	if err != nil {
 		fmt.Fprintf(stderr, "paperbench: %v\n", err)
 		return 1
@@ -100,6 +115,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *timings {
 		fmt.Fprintln(stdout, report.TimingsTable(results, session.Stats()))
+	}
+	if report.AnyDegraded(results) {
+		fmt.Fprint(stderr, report.DegradedNote(results))
+		fmt.Fprintln(stderr, "paperbench: some benchmarks are degraded; their rows are marked and excluded from summary statistics")
+		return 1
 	}
 	return 0
 }

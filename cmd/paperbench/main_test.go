@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDumpBenchmark(t *testing.T) {
@@ -69,5 +70,19 @@ func TestCSVFlag(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
 	if len(lines) != 12 || !strings.HasPrefix(lines[0], "benchmark,") {
 		t.Errorf("unexpected CSV output (%d lines)", len(lines))
+	}
+}
+
+func TestTimeoutAbortsSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	start := time.Now()
+	if code := run([]string{"-timeout", "1ns", "-table1"}, &out, &errOut); code != 1 {
+		t.Fatalf("timed-out sweep should exit 1, got %d\nstderr: %s", code, errOut.String())
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("sweep took %v to honor an expired timeout", elapsed)
+	}
+	if !strings.Contains(errOut.String(), "deadline") {
+		t.Errorf("stderr missing deadline diagnostic:\n%s", errOut.String())
 	}
 }

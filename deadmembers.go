@@ -32,10 +32,13 @@
 package deadmembers
 
 import (
+	"context"
+
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/dynprof"
 	"deadmembers/internal/engine"
+	"deadmembers/internal/failure"
 	"deadmembers/internal/frontend"
 	"deadmembers/internal/interp"
 	"deadmembers/internal/strip"
@@ -124,6 +127,12 @@ func (o Options) analysisOptions() deadmember.Options {
 // full accessor set).
 type Result = deadmember.Result
 
+// Failure is a structured record of a panic contained by the pipeline:
+// the stage and unit that crashed, the recovered value, and a stable
+// stack digest. Failures never abort a run — the artifact is salvaged
+// and marked degraded instead.
+type Failure = failure.Failure
+
 // Profile is a completed dynamic measurement.
 type Profile = dynprof.Profile
 
@@ -157,17 +166,45 @@ func Compile(sources ...Source) (*Compilation, error) {
 
 // CompileWith is Compile under an explicit execution configuration.
 func CompileWith(cfg CompileConfig, sources ...Source) (*Compilation, error) {
-	c := engine.Compile(engine.Config{Workers: cfg.Workers}, sources...)
+	return CompileWithContext(context.Background(), cfg, sources...)
+}
+
+// CompileContext is Compile under a context: cancellation or deadline
+// expiry aborts the frontend between work items and is reported as the
+// returned error.
+func CompileContext(ctx context.Context, sources ...Source) (*Compilation, error) {
+	return CompileWithContext(ctx, CompileConfig{}, sources...)
+}
+
+// CompileWithContext is CompileWith under a context.
+func CompileWithContext(ctx context.Context, cfg CompileConfig, sources ...Source) (*Compilation, error) {
+	c := engine.CompileContext(ctx, engine.Config{Workers: cfg.Workers}, sources...)
 	if err := c.Err(); err != nil {
 		return nil, err
 	}
 	return &Compilation{eng: c}, nil
 }
 
+// Degraded reports whether a panic was contained while compiling: the
+// crashing unit was dropped and the rest of the program salvaged. Consult
+// Failures for the structured diagnostics.
+func (c *Compilation) Degraded() bool { return c.eng.Degraded() }
+
+// Failures lists the panics contained during compilation, in a
+// deterministic order.
+func (c *Compilation) Failures() []*Failure { return c.eng.Failures }
+
 // Analyze runs the dead-data-member analysis. Repeated calls reuse the
 // compiled program (and the call graph, when only marking rules differ).
 func (c *Compilation) Analyze(opts Options) *Result {
 	return c.eng.Analyze(opts.analysisOptions())
+}
+
+// AnalyzeContext is Analyze under a context: cancellation is polled
+// between functions in the liveness pass and reported as the returned
+// error.
+func (c *Compilation) AnalyzeContext(ctx context.Context, opts Options) (*Result, error) {
+	return c.eng.AnalyzeContext(ctx, opts.analysisOptions())
 }
 
 // AnalyzeTimed is Analyze plus per-stage wall-clock timings (Parse/Sema
@@ -176,15 +213,32 @@ func (c *Compilation) AnalyzeTimed(opts Options) (*Result, Timings) {
 	return c.eng.AnalyzeTimed(opts.analysisOptions())
 }
 
+// AnalyzeTimedContext is AnalyzeTimed under a context.
+func (c *Compilation) AnalyzeTimedContext(ctx context.Context, opts Options) (*Result, Timings, error) {
+	return c.eng.AnalyzeTimedContext(ctx, opts.analysisOptions())
+}
+
 // Profile analyzes and then executes the program with an instrumented
 // heap, attributing bytes to the dead members found.
 func (c *Compilation) Profile(opts Options) (*Profile, error) {
 	return c.eng.Profile(opts.analysisOptions(), dynprof.Options{MaxSteps: opts.MaxSteps})
 }
 
+// ProfileContext is Profile under a context: cancellation or deadline
+// expiry is polled at the interpreter's step boundary and aborts the run
+// with an error satisfying errors.Is(err, ctx.Err()).
+func (c *Compilation) ProfileContext(ctx context.Context, opts Options) (*Profile, error) {
+	return c.eng.ProfileContext(ctx, opts.analysisOptions(), dynprof.Options{MaxSteps: opts.MaxSteps})
+}
+
 // Run executes the program without instrumentation.
 func (c *Compilation) Run() (*ExecResult, error) {
 	return c.eng.Run()
+}
+
+// RunContext is Run under a context (see ProfileContext).
+func (c *Compilation) RunContext(ctx context.Context) (*ExecResult, error) {
+	return c.eng.RunContext(ctx)
 }
 
 // Strip analyzes and removes the dead data members (and unreachable

@@ -1,0 +1,103 @@
+package deadmembers_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deadmembers"
+)
+
+// The fuzz targets hold the pipeline to its containment contract on
+// arbitrary input: the frontend may reject a program with diagnostics,
+// but it must never panic out of the API, never report a degraded
+// compilation (a contained panic on plain source text is a bug, not
+// containment working as intended), and anything Strip emits must
+// recompile cleanly. Regressions caught by fuzzing are checked in under
+// testdata/fuzz/<FuzzName>/ and replayed by plain `go test`.
+
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.mcc"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		text, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(text))
+	}
+	f.Add("int main() { return 0; }")
+	f.Add("class C { public: int x; C() : x(1) {} }; int main() { C c; return c.x; }")
+}
+
+func fuzzCompile(t *testing.T, text string) (*deadmembers.Compilation, bool) {
+	t.Helper()
+	c, err := deadmembers.Compile(deadmembers.Source{Name: "fuzz.mcc", Text: text})
+	if err != nil {
+		return nil, false // rejected with diagnostics: fine
+	}
+	if c.Degraded() {
+		t.Fatalf("compile degraded on plain source input: %v", c.Failures())
+	}
+	return c, true
+}
+
+func FuzzCompile(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, text string) {
+		fuzzCompile(t, text)
+	})
+}
+
+func FuzzAnalyze(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, text string) {
+		c, ok := fuzzCompile(t, text)
+		if !ok {
+			return
+		}
+		for _, opts := range []deadmembers.Options{
+			{},
+			{CallGraph: deadmembers.CallGraphCHA, WritesAreUses: true},
+			{CallGraph: deadmembers.CallGraphALL, TrustDowncasts: true, NoDeleteSpecialCase: true},
+		} {
+			res := c.Analyze(opts)
+			if res.Degraded() {
+				t.Fatalf("analysis degraded on plain source input: %v", res.Failures)
+			}
+			for _, m := range res.DeadMembers() {
+				if !res.IsDead(m) {
+					t.Fatalf("%s listed dead but IsDead is false", m.QualifiedName())
+				}
+			}
+		}
+	})
+}
+
+func FuzzStripRoundTrip(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, text string) {
+		if _, ok := fuzzCompile(t, text); !ok {
+			return
+		}
+		// Strip consumes its compilation, so let it compile its own.
+		out, err := deadmembers.Strip(deadmembers.Options{}, deadmembers.StripOptions{},
+			deadmembers.Source{Name: "fuzz.mcc", Text: text})
+		if err != nil {
+			t.Fatalf("compiled program failed to strip: %v", err)
+		}
+		// The round-trip property: whatever the transform emits is a valid
+		// MC++ program — it reparses and rechecks with zero diagnostics.
+		if _, err := deadmembers.Compile(out.Sources...); err != nil {
+			var b strings.Builder
+			for _, s := range out.Sources {
+				b.WriteString(s.Text)
+			}
+			t.Fatalf("stripped output does not recompile: %v\n---- stripped ----\n%s", err, b.String())
+		}
+	})
+}

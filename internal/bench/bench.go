@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"deadmembers/internal/engine"
@@ -95,7 +96,12 @@ func All() []*Benchmark {
 // caches by content hash, so repeated calls — collection then ablation,
 // or a benchmark loop — run the frontend once per benchmark.
 func (b *Benchmark) Compile(s *engine.Session) (*engine.Compilation, error) {
-	c := s.Compile(b.Sources...)
+	return b.CompileContext(context.Background(), s)
+}
+
+// CompileContext is Compile under a context.
+func (b *Benchmark) CompileContext(ctx context.Context, s *engine.Session) (*engine.Compilation, error) {
+	c := s.CompileContext(ctx, b.Sources...)
 	if err := c.Err(); err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}

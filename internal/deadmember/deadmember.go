@@ -21,9 +21,11 @@
 package deadmember
 
 import (
+	"context"
 	"sort"
 
 	"deadmembers/internal/callgraph"
+	"deadmembers/internal/failure"
 	"deadmembers/internal/hierarchy"
 	"deadmembers/internal/source"
 	"deadmembers/internal/types"
@@ -149,12 +151,30 @@ type Result struct {
 	// program); percentages are computed over these, per paper §4.2.
 	Used map[*types.Class]bool
 
+	// Failures records functions whose liveness processing panicked. The
+	// accesses such a function recorded before faulting are kept (they are
+	// real accesses, so liveness stays correct), but accesses it never got
+	// to record are missing — a member reported dead is no longer
+	// guaranteed dead. Non-empty Failures means the result is degraded.
+	Failures []*failure.Failure
+
+	// Interrupted reports that Exec.Ctx was cancelled before the liveness
+	// pass completed; the marks are incomplete and must not be trusted.
+	Interrupted bool
+
 	marks   map[*types.Field]*Mark
 	library map[*types.Class]bool
 }
 
-// Exec configures how — not what — Analyze computes. It never changes the
-// Result: any Exec value yields byte-identical classifications.
+// Degraded reports whether any part of the analysis was contained after a
+// fault, weakening the guaranteed-dead property.
+func (r *Result) Degraded() bool { return len(r.Failures) > 0 }
+
+// Exec configures how — not what — Analyze computes. Workers and Graph
+// never change the Result: any value yields byte-identical
+// classifications. Ctx and FuncFault are failure controls: they can stop
+// or degrade a run, and exist for deadline handling and fault-injection
+// tests respectively.
 type Exec struct {
 	// Workers bounds the number of goroutines marking reachable functions
 	// concurrently. Values ≤ 1 run the paper's sequential loop.
@@ -165,6 +185,15 @@ type Exec struct {
 	// step is skipped. Callers must not pass a graph built under different
 	// Options — the reachable set would no longer match Figure 2's.
 	Graph *callgraph.Graph
+
+	// Ctx, when non-nil, is polled between functions during the liveness
+	// pass; cancellation stops the pass and sets Result.Interrupted.
+	Ctx context.Context
+
+	// FuncFault, when non-nil, runs inside each function's containment
+	// boundary just before the function is processed. Tests use it to
+	// inject a panic into a chosen function or shard.
+	FuncFault func(*types.Func)
 }
 
 // BuildGraph constructs the call graph Analyze would build for prog under
@@ -215,12 +244,20 @@ func AnalyzeWith(prog *types.Program, h *hierarchy.Graph, opts Options, exec Exe
 	}
 
 	// Lines 6-8: process every statement of every reachable function.
+	// Each function runs inside a recover boundary so a fault in one
+	// cannot take down the pass; see processFuncGuarded.
 	funcs := a.res.CallGraph.ReachableFuncs()
 	if exec.Workers > 1 && len(funcs) > 1 {
-		a.processFuncsParallel(funcs, exec.Workers)
+		a.processFuncsParallel(funcs, exec)
 	} else {
 		for _, f := range funcs {
-			a.processFunc(f)
+			if exec.Ctx != nil && exec.Ctx.Err() != nil {
+				a.res.Interrupted = true
+				break
+			}
+			if pf := a.processFuncGuarded(f, exec.FuncFault); pf != nil {
+				a.res.Failures = append(a.res.Failures, pf)
+			}
 		}
 	}
 
@@ -269,6 +306,20 @@ type analysis struct {
 	res     *Result
 	marks   map[*types.Field]*Mark // mark sink (res.marks, or worker-local)
 	visited map[*types.Class]bool  // MarkAllContainedMembers visited set
+}
+
+// processFuncGuarded processes one reachable function inside a recover
+// boundary. A panic — from the analysis itself or from an injected
+// FuncFault — is contained: marks the function recorded before faulting
+// are kept (they reflect real accesses), and the fault is returned for
+// Result.Failures.
+func (a *analysis) processFuncGuarded(f *types.Func, fault func(*types.Func)) *failure.Failure {
+	return failure.Catch("liveness", f.QualifiedName(), func() {
+		if fault != nil {
+			fault(f)
+		}
+		a.processFunc(f)
+	})
 }
 
 // libraryOverrideRoots returns user methods that override virtual methods

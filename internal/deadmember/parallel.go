@@ -1,8 +1,10 @@
 package deadmember
 
 import (
+	"fmt"
 	"sync"
 
+	"deadmembers/internal/failure"
 	"deadmembers/internal/types"
 )
 
@@ -29,14 +31,27 @@ import (
 // only the side tables of types.Info (plain map reads) and its private
 // marks/visited maps, so the pass is race-free by construction (guarded
 // by the engine's -race test).
+//
+// Failure containment: each shard runs inside one recover boundary (cheap:
+// a single defer on the hot path). If the shard faults, its partial sink
+// is discarded and the shard's functions are reprocessed in order, each
+// inside its own boundary, into a fresh sink. The faulting function panics
+// at the same point on retry (processFunc is deterministic), so the retry
+// sink holds exactly what a sequential guarded run would have recorded:
+// every other function's marks, plus the faulting function's pre-fault
+// marks. Salvaged results therefore stay deterministic. Per-shard failure
+// lists are merged in shard order for the same reason.
 
 // processFuncsParallel shards funcs (already in deterministic order)
 // across workers and merges the per-worker mark sets into a.marks.
-func (a *analysis) processFuncsParallel(funcs []*types.Func, workers int) {
+func (a *analysis) processFuncsParallel(funcs []*types.Func, exec Exec) {
+	workers := exec.Workers
 	if workers > len(funcs) {
 		workers = len(funcs)
 	}
 	shards := make([]map[*types.Field]*Mark, workers)
+	shardFails := make([][]*failure.Failure, workers)
+	interrupted := make([]bool, workers)
 	chunk := (len(funcs) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -51,21 +66,40 @@ func (a *analysis) processFuncsParallel(funcs []*types.Func, workers int) {
 		sink := map[*types.Field]*Mark{}
 		shards[w] = sink
 		wg.Add(1)
-		go func(fns []*types.Func, sink map[*types.Field]*Mark) {
+		go func(w int, fns []*types.Func, sink map[*types.Field]*Mark) {
 			defer wg.Done()
-			worker := &analysis{
-				prog:    a.prog,
-				h:       a.h,
-				info:    a.info,
-				opts:    a.opts,
-				res:     a.res,
-				marks:   sink,
-				visited: map[*types.Class]bool{},
+			worker := a.forkWorker(sink)
+			crashed := failure.Catch("liveness", fmt.Sprintf("shard %d", w), func() {
+				for _, fn := range fns {
+					if exec.Ctx != nil && exec.Ctx.Err() != nil {
+						interrupted[w] = true
+						return
+					}
+					if exec.FuncFault != nil {
+						exec.FuncFault(fn)
+					}
+					worker.processFunc(fn)
+				}
+			})
+			if crashed == nil {
+				return
 			}
-			for _, f := range fns {
-				worker.processFunc(f)
+			// The shard died mid-function: discard its sink and reprocess
+			// the shard sequentially with per-function boundaries, which
+			// isolates the faulting function(s) and salvages the rest.
+			retrySink := map[*types.Field]*Mark{}
+			shards[w] = retrySink
+			retry := a.forkWorker(retrySink)
+			for _, fn := range fns {
+				if exec.Ctx != nil && exec.Ctx.Err() != nil {
+					interrupted[w] = true
+					return
+				}
+				if pf := retry.processFuncGuarded(fn, exec.FuncFault); pf != nil {
+					shardFails[w] = append(shardFails[w], pf)
+				}
 			}
-		}(funcs[lo:hi], sink)
+		}(w, funcs[lo:hi], sink)
 	}
 	wg.Wait()
 
@@ -83,5 +117,27 @@ func (a *analysis) processFuncsParallel(funcs []*types.Func, workers int) {
 				*dst = *m
 			}
 		}
+	}
+	for _, fs := range shardFails {
+		a.res.Failures = append(a.res.Failures, fs...)
+	}
+	for _, in := range interrupted {
+		if in {
+			a.res.Interrupted = true
+		}
+	}
+}
+
+// forkWorker builds a worker-private analysis writing marks into sink;
+// prog, h, info, opts, and res are shared read-only.
+func (a *analysis) forkWorker(sink map[*types.Field]*Mark) *analysis {
+	return &analysis{
+		prog:    a.prog,
+		h:       a.h,
+		info:    a.info,
+		opts:    a.opts,
+		res:     a.res,
+		marks:   sink,
+		visited: map[*types.Class]bool{},
 	}
 }

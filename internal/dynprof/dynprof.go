@@ -5,6 +5,8 @@
 package dynprof
 
 import (
+	"context"
+
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/heapsim"
 	"deadmembers/internal/interp"
@@ -21,12 +23,22 @@ type Profile struct {
 
 	// Exec reports the execution itself.
 	Exec *interp.Result
+
+	// AccountingErr records a heap-ledger invariant violation observed
+	// during the run (e.g. a double free driving live bytes negative).
+	// The ledger's figures are clamped, not trusted; report the profile
+	// as degraded when this is non-nil.
+	AccountingErr error
 }
 
 // Options configures the run.
 type Options struct {
 	// MaxSteps bounds execution (see interp.Options).
 	MaxSteps int64
+
+	// Context cancels or deadlines the instrumented execution
+	// (see interp.Options.Context).
+	Context context.Context
 }
 
 // Run executes the analyzed program with dead-member instrumentation.
@@ -40,9 +52,10 @@ func Run(analysis *deadmember.Result, opts Options) (*Profile, error) {
 			return analysis.IsDead(f)
 		},
 		MaxSteps: opts.MaxSteps,
+		Context:  opts.Context,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Profile{Analysis: analysis, Ledger: led, Exec: exec}, nil
+	return &Profile{Analysis: analysis, Ledger: led, Exec: exec, AccountingErr: led.Err()}, nil
 }

@@ -20,6 +20,7 @@
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -32,6 +33,7 @@ import (
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/dynprof"
+	"deadmembers/internal/failure"
 	"deadmembers/internal/frontend"
 	"deadmembers/internal/hierarchy"
 	"deadmembers/internal/interp"
@@ -51,6 +53,15 @@ type Config struct {
 	// Workers bounds the parallelism of the parse and liveness stages.
 	// 0 means GOMAXPROCS; 1 forces sequential execution.
 	Workers int
+
+	// ParseFault, when non-nil, runs inside each parse worker's
+	// containment boundary just before the named file is parsed. Tests
+	// use it to inject a panic into a chosen parse worker.
+	ParseFault func(fileName string)
+
+	// FuncFault, when non-nil, is passed to the liveness pass as
+	// deadmember.Exec.FuncFault (fault injection into a liveness shard).
+	FuncFault func(*types.Func)
 }
 
 func (c Config) workers() int {
@@ -100,16 +111,37 @@ type Compilation struct {
 	// Fingerprint is the content hash keying the session cache.
 	Fingerprint string
 
-	cfg      Config
-	timings  Timings // Parse + Sema only
-	consumed bool    // set by Strip: the ASTs were mutated
+	// Failures records panics contained during the frontend stages (one
+	// per faulted parse worker, or one for a faulted sema pass). The
+	// faulted unit's results are replaced by an empty salvage value and
+	// every other unit's results are kept, so the artifact is usable but
+	// Degraded: treat its analysis output as incomplete.
+	Failures []*failure.Failure
+
+	cfg       Config
+	timings   Timings // Parse + Sema only
+	consumed  bool    // set by Strip: the ASTs were mutated
+	cancelErr error   // context error that aborted Compile, if any
 
 	mu     sync.Mutex
 	graphs map[string]*callgraph.Graph
 }
 
-// Err returns an error if any frontend phase reported errors.
-func (c *Compilation) Err() error { return c.Diags.Err() }
+// Err returns an error if the compile was cancelled or any frontend phase
+// reported errors. Contained panics are NOT errors — they mark the
+// artifact Degraded while the diagnostics stay about the source program.
+func (c *Compilation) Err() error {
+	if c.cancelErr != nil {
+		return c.cancelErr
+	}
+	return c.Diags.Err()
+}
+
+// CancelErr returns the context error that aborted Compile, or nil.
+func (c *Compilation) CancelErr() error { return c.cancelErr }
+
+// Degraded reports whether a frontend stage faulted and was contained.
+func (c *Compilation) Degraded() bool { return len(c.Failures) > 0 }
 
 // Timings returns the frontend stage durations of this compilation.
 func (c *Compilation) Timings() Timings { return c.timings }
@@ -120,6 +152,17 @@ func (c *Compilation) Timings() Timings { return c.timings }
 // The result always carries a (possibly partial) program; check Err
 // before trusting it.
 func Compile(cfg Config, sources ...Source) *Compilation {
+	return CompileContext(context.Background(), cfg, sources...)
+}
+
+// CompileContext is Compile under a context. Cancellation is checked
+// cooperatively between work items in the parse worker pool and between
+// stages; a cancelled compile returns early with CancelErr set (and Err
+// returning it). Each parse worker and the sema stage run inside a
+// recover boundary: a panic is converted into a structured Failure, the
+// faulted file salvaged as an empty AST (or the program as an empty
+// program for sema), and every other file's results kept.
+func CompileContext(ctx context.Context, cfg Config, sources ...Source) *Compilation {
 	c := &Compilation{
 		Sources:     sources,
 		Fingerprint: fingerprint(sources),
@@ -131,17 +174,30 @@ func Compile(cfg Config, sources ...Source) *Compilation {
 	parseStart := time.Now()
 	fset := source.NewFileSet()
 	diags := source.NewDiagnosticList(fset)
+	c.FileSet = fset
+	c.Diags = diags
 	srcFiles := make([]*source.File, len(sources))
+	oversized := make([]bool, len(sources))
 	for i, s := range sources {
 		srcFiles[i] = fset.AddFile(s.Name, s.Text)
+		if err := srcFiles[i].CheckSize(); err != nil {
+			oversized[i] = true
+			diags.Errorf(srcFiles[i].Pos(0), "%v", err)
+		}
 	}
 
 	// Stage 1a: pre-scan every file for declared type names, so class
 	// names declared in one file are known while parsing the others.
 	typeSets := make([]map[string]bool, len(srcFiles))
-	parallelFor(workers, len(srcFiles), func(i int) {
+	ok := parallelFor(ctx, workers, len(srcFiles), func(i int) {
+		if oversized[i] {
+			return
+		}
 		typeSets[i] = parser.CollectTypeNames(srcFiles[i])
 	})
+	if !ok {
+		return c.cancelled(ctx)
+	}
 	allTypes := map[string]bool{}
 	for _, set := range typeSets {
 		for name := range set {
@@ -150,42 +206,88 @@ func Compile(cfg Config, sources ...Source) *Compilation {
 	}
 
 	// Stage 1b: parse each file independently into its own diagnostic
-	// list; merge in file order afterwards.
+	// list; merge in file order afterwards. A panicking worker is
+	// contained: its file degrades to an empty AST (plus the diagnostics
+	// it reported before faulting, which are deterministic), and a
+	// structured Failure records the fault.
 	files := make([]*ast.File, len(srcFiles))
 	fileDiags := make([]*source.DiagnosticList, len(srcFiles))
-	parallelFor(workers, len(srcFiles), func(i int) {
+	fileFails := make([]*failure.Failure, len(srcFiles))
+	ok = parallelFor(ctx, workers, len(srcFiles), func(i int) {
 		fileDiags[i] = source.NewDiagnosticList(fset)
-		files[i] = parser.ParseFileWithTypes(srcFiles[i], fileDiags[i], allTypes)
+		name := srcFiles[i].Name()
+		if oversized[i] {
+			files[i] = &ast.File{Name: name}
+			return
+		}
+		fileFails[i] = failure.Catch("parse", name, func() {
+			if cfg.ParseFault != nil {
+				cfg.ParseFault(name)
+			}
+			files[i] = parser.ParseFileWithTypes(srcFiles[i], fileDiags[i], allTypes)
+		})
+		if files[i] == nil {
+			files[i] = &ast.File{Name: name}
+		}
 	})
-	for _, dl := range fileDiags {
-		diags.Extend(dl)
+	for i, dl := range fileDiags {
+		if dl != nil {
+			diags.Extend(dl)
+		}
+		if fileFails[i] != nil {
+			c.Failures = append(c.Failures, fileFails[i])
+		}
 	}
 	c.timings.Parse = time.Since(parseStart)
+	if !ok {
+		return c.cancelled(ctx)
+	}
 
-	// Stage 2: semantic analysis (whole-program, sequential).
+	// Stage 2: semantic analysis (whole-program, sequential). A panic
+	// degrades the compilation to an empty program; the parse diagnostics
+	// are kept.
 	semaStart := time.Now()
-	prog, graph := sema.Check(fset, files, diags)
+	var prog *types.Program
+	var graph *hierarchy.Graph
+	if f := failure.Catch("sema", "program", func() {
+		prog, graph = sema.Check(fset, files, diags)
+	}); f != nil {
+		c.Failures = append(c.Failures, f)
+		prog, graph = sema.Check(fset, nil, diags)
+	}
 	c.timings.Sema = time.Since(semaStart)
 
 	c.Program = prog
 	c.Hierarchy = graph
-	c.FileSet = fset
-	c.Diags = diags
 	return c
 }
 
-// parallelFor runs fn(0..n-1) on up to `workers` goroutines. With one
-// worker (or one item) it runs inline, keeping single-threaded traces
-// clean.
-func parallelFor(workers, n int, fn func(int)) {
+// cancelled finalizes a compilation aborted by ctx: a well-formed but
+// empty artifact whose Err and CancelErr report the context error.
+func (c *Compilation) cancelled(ctx context.Context) *Compilation {
+	c.cancelErr = ctx.Err()
+	prog, graph := sema.Check(c.FileSet, nil, source.NewDiagnosticList(c.FileSet))
+	c.Program = prog
+	c.Hierarchy = graph
+	return c
+}
+
+// parallelFor runs fn(0..n-1) on up to `workers` goroutines, stopping
+// early — between items, never mid-item — once ctx is cancelled. It
+// reports whether every item ran. With one worker (or one item) it runs
+// inline, keeping single-threaded traces clean.
+func parallelFor(ctx context.Context, workers, n int, fn func(int)) bool {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return false
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err() == nil
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -194,15 +296,24 @@ func parallelFor(workers, n int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without working; feeder stops soon
+				}
 				fn(i)
 			}
 		}()
 	}
+	complete := true
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			complete = false
+			break
+		}
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+	return complete && ctx.Err() == nil
 }
 
 // graphKey identifies the options that affect call-graph construction:
@@ -242,29 +353,75 @@ func (c *Compilation) Analyze(opts deadmember.Options) *deadmember.Result {
 // AnalyzeTimed is Analyze plus the per-stage wall-clock timings of this
 // call (Parse/Sema are the compilation's, CallGraph/Liveness this run's).
 func (c *Compilation) AnalyzeTimed(opts deadmember.Options) (*deadmember.Result, Timings) {
+	res, t, _ := c.analyzeCtx(context.Background(), opts)
+	return res, t
+}
+
+// AnalyzeContext is Analyze under a context: cancellation is polled
+// between functions of the liveness pass, and an interrupted run returns
+// the context's error (the partial result must not be trusted).
+func (c *Compilation) AnalyzeContext(ctx context.Context, opts deadmember.Options) (*deadmember.Result, error) {
+	res, _, err := c.analyzeCtx(ctx, opts)
+	return res, err
+}
+
+// AnalyzeTimedContext is AnalyzeTimed under a context (see AnalyzeContext).
+func (c *Compilation) AnalyzeTimedContext(ctx context.Context, opts deadmember.Options) (*deadmember.Result, Timings, error) {
+	return c.analyzeCtx(ctx, opts)
+}
+
+func (c *Compilation) analyzeCtx(ctx context.Context, opts deadmember.Options) (*deadmember.Result, Timings, error) {
 	t := c.timings
+	if err := ctx.Err(); err != nil {
+		return nil, t, err
+	}
 	g, cached, graphTime := c.graphFor(opts)
 	t.CallGraph = graphTime
 	t.CallGraphCached = cached
 
 	liveStart := time.Now()
 	res := deadmember.AnalyzeWith(c.Program, c.Hierarchy, opts, deadmember.Exec{
-		Workers: c.cfg.workers(),
-		Graph:   g,
+		Workers:   c.cfg.workers(),
+		Graph:     g,
+		Ctx:       ctx,
+		FuncFault: c.cfg.FuncFault,
 	})
 	t.Liveness = time.Since(liveStart)
-	return res, t
+	if res.Interrupted {
+		return nil, t, ctx.Err()
+	}
+	return res, t, nil
 }
 
 // Profile analyzes and then executes the program with an instrumented
 // heap, attributing bytes to the dead members found.
 func (c *Compilation) Profile(opts deadmember.Options, dopts dynprof.Options) (*dynprof.Profile, error) {
-	return dynprof.Run(c.Analyze(opts), dopts)
+	return c.ProfileContext(context.Background(), opts, dopts)
+}
+
+// ProfileContext is Profile under a context: the analysis polls it
+// between liveness functions and the instrumented execution polls it at
+// the interpreter's step boundary, so a deadline bounds the whole run.
+func (c *Compilation) ProfileContext(ctx context.Context, opts deadmember.Options, dopts dynprof.Options) (*dynprof.Profile, error) {
+	res, err := c.AnalyzeContext(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	if dopts.Context == nil {
+		dopts.Context = ctx
+	}
+	return dynprof.Run(res, dopts)
 }
 
 // Run executes the program without instrumentation.
 func (c *Compilation) Run() (*interp.Result, error) {
-	return interp.Run(c.Program, c.Hierarchy, interp.Options{})
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run under a context, polled at the interpreter's step
+// boundary.
+func (c *Compilation) RunContext(ctx context.Context) (*interp.Result, error) {
+	return interp.Run(c.Program, c.Hierarchy, interp.Options{Context: ctx})
 }
 
 // Strip analyzes and applies the dead-member elimination transform.
@@ -274,11 +431,28 @@ func (c *Compilation) Run() (*interp.Result, error) {
 // afterwards — recompile Result.Sources instead. Session caches treat a
 // consumed compilation as evicted.
 func (c *Compilation) Strip(opts deadmember.Options, sopts strip.Options) *strip.Result {
-	res := c.Analyze(opts)
+	res, _ := c.StripContext(context.Background(), opts, sopts)
+	return res
+}
+
+// StripContext is Strip under a context. The analysis polls ctx; a panic
+// inside the transform itself is contained and returned as an error (the
+// compilation is still consumed — its ASTs may be half-rewritten).
+func (c *Compilation) StripContext(ctx context.Context, opts deadmember.Options, sopts strip.Options) (*strip.Result, error) {
+	res, err := c.AnalyzeContext(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	c.consumed = true
 	c.mu.Unlock()
-	return strip.Apply(res, sopts)
+	var out *strip.Result
+	if f := failure.Catch("strip", "program", func() {
+		out = strip.Apply(res, sopts)
+	}); f != nil {
+		return nil, f
+	}
+	return out, nil
 }
 
 // Consumed reports whether Strip has invalidated this compilation.

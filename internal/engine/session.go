@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Session is a compile-once cache: Compile returns the same Compilation
 // for byte-identical sources, so ablation sweeps, benchmark loops, and
@@ -34,6 +37,14 @@ func NewSession(cfg Config) *Session {
 // frontend only on the first sight of this exact content. Compilations
 // consumed by Strip are treated as evicted and recompiled.
 func (s *Session) Compile(sources ...Source) *Compilation {
+	return s.CompileContext(context.Background(), sources...)
+}
+
+// CompileContext is Compile under a context. Compiles that were cancelled
+// or degraded by a contained panic are returned to the caller but never
+// cached: the next request for the same content gets a fresh attempt
+// instead of a poisoned artifact.
+func (s *Session) CompileContext(ctx context.Context, sources ...Source) *Compilation {
 	key := fingerprint(sources)
 	s.mu.Lock()
 	if c, ok := s.cache[key]; ok && !c.Consumed() {
@@ -46,20 +57,21 @@ func (s *Session) Compile(sources ...Source) *Compilation {
 	// Compile outside the lock: a slow frontend must not serialize
 	// unrelated cache hits. A concurrent miss on the same key wastes one
 	// compile but both callers get a valid artifact.
-	c := Compile(s.cfg, sources...)
+	c := CompileContext(ctx, s.cfg, sources...)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.stats.Compiles++
+	s.stats.Frontend.Add(c.Timings())
+	if c.CancelErr() != nil || c.Degraded() {
+		return c // usable by this caller, but not cache-worthy
+	}
 	if prev, ok := s.cache[key]; ok && !prev.Consumed() {
 		// Lost the race; count our work but hand back the cached artifact
 		// so callers share call-graph caches too.
-		s.stats.Compiles++
-		s.stats.Frontend.Add(c.Timings())
 		return prev
 	}
 	s.cache[key] = c
-	s.stats.Compiles++
-	s.stats.Frontend.Add(c.Timings())
 	return c
 }
 

@@ -1,0 +1,73 @@
+package failure
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatchReturnsNilOnSuccess(t *testing.T) {
+	if f := Catch("parse", "a.mcc", func() {}); f != nil {
+		t.Fatalf("Catch of a clean fn = %v, want nil", f)
+	}
+}
+
+func TestCatchConvertsPanic(t *testing.T) {
+	f := Catch("liveness", "C::f", func() { panic("boom") })
+	if f == nil {
+		t.Fatal("Catch did not contain the panic")
+	}
+	if f.Stage != "liveness" || f.Unit != "C::f" || f.Value != "boom" {
+		t.Fatalf("failure fields wrong: %+v", f)
+	}
+	if f.Stack == "" {
+		t.Fatal("failure is missing a stack digest")
+	}
+	msg := f.Error()
+	for _, want := range []string{"liveness", "C::f", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "\n") {
+		t.Errorf("Error() must be one line, got %q", msg)
+	}
+}
+
+func TestCatchPreservesNonStringPanics(t *testing.T) {
+	type weird struct{ n int }
+	f := Catch("sema", "program", func() { panic(weird{41}) })
+	if f == nil || !strings.Contains(f.Value, "41") {
+		t.Fatalf("panic value not captured: %+v", f)
+	}
+}
+
+// TestDigestStable: the digest must not embed addresses or goroutine ids,
+// so the same crash site produces the same digest run after run.
+func TestDigestStable(t *testing.T) {
+	crash := func() *Failure {
+		return Catch("parse", "x", func() {
+			var m map[string]int
+			m["write"] = 1 // nil map write panics
+		})
+	}
+	a, b := crash(), crash()
+	if a == nil || b == nil {
+		t.Fatal("panic not contained")
+	}
+	if a.Stack != b.Stack {
+		t.Fatalf("digest unstable: %q vs %q", a.Stack, b.Stack)
+	}
+	if !strings.Contains(a.Stack, " ") {
+		t.Fatalf("digest should carry a frame name: %q", a.Stack)
+	}
+}
+
+func TestDigestDistinguishesSites(t *testing.T) {
+	a := Catch("s", "u", func() { panic("one") })
+	b := Catch("s", "u", func() {
+		func() { panic("two") }() // extra frame: different stack
+	})
+	if a.Stack == b.Stack {
+		t.Fatalf("different crash sites share digest %q", a.Stack)
+	}
+}

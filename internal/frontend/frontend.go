@@ -41,12 +41,20 @@ func Compile(sources ...Source) *Result {
 	for _, s := range sources {
 		f := fset.AddFile(s.Name, s.Text)
 		srcFiles = append(srcFiles, f)
+		if err := f.CheckSize(); err != nil {
+			diags.Errorf(f.Pos(0), "%v", err)
+			continue
+		}
 		for name := range parser.CollectTypeNames(f) {
 			allTypes[name] = true
 		}
 	}
 	var files []*ast.File
 	for _, f := range srcFiles {
+		if f.CheckSize() != nil {
+			files = append(files, &ast.File{Name: f.Name()})
+			continue
+		}
 		files = append(files, parser.ParseFileWithTypes(f, diags, allTypes))
 	}
 	prog, graph := sema.Check(fset, files, diags)

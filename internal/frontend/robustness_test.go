@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"deadmembers/internal/source"
 )
 
 // TestFrontendNeverPanics drives the whole frontend (lexer, parser, sema)
@@ -60,5 +62,42 @@ int main() { B b; A* p = &b; return p->f(); }
 		if r == nil || r.Program == nil {
 			t.Fatalf("prefix of length %d: frontend returned nil", i)
 		}
+	}
+}
+
+// TestDeepNestingBounded feeds pathologically nested input that would
+// overflow the goroutine stack without the parser's depth guard. Each case
+// must terminate with a "nesting too deep" diagnostic, never crash.
+func TestDeepNestingBounded(t *testing.T) {
+	const n = 20000
+	cases := []struct{ name, src string }{
+		{"parens", "int main() { return " + strings.Repeat("(", n) + "1" + strings.Repeat(")", n) + "; }"},
+		{"unary", "int main() { return " + strings.Repeat("!", n) + "1; }"},
+		{"blocks", "int main() { " + strings.Repeat("{", n) + strings.Repeat("}", n) + " return 0; }"},
+		{"ternary", "int main() { return " + strings.Repeat("1 ? ", n) + "1" + strings.Repeat(" : 1", n) + "; }"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := Compile(Source{Name: "deep.mcc", Text: c.src})
+			if r == nil || r.Program == nil {
+				t.Fatal("frontend returned nil on deeply nested input")
+			}
+			if !strings.Contains(r.Diags.String(), "nesting too deep") {
+				t.Fatalf("expected a nesting-depth diagnostic, got:\n%s", r.Diags.String())
+			}
+		})
+	}
+}
+
+// TestOversizedFileRejected: inputs past source.MaxFileSize are rejected
+// with a diagnostic instead of being lexed.
+func TestOversizedFileRejected(t *testing.T) {
+	big := strings.Repeat("x", source.MaxFileSize+1)
+	r := Compile(Source{Name: "big.mcc", Text: big})
+	if r == nil || !r.Diags.HasErrors() {
+		t.Fatal("oversized file was not rejected")
+	}
+	if !strings.Contains(r.Diags.String(), "file too large") {
+		t.Fatalf("expected a file-too-large diagnostic, got:\n%s", r.Diags.String())
 	}
 }

@@ -48,6 +48,7 @@ type Ledger struct {
 	AdjustedHighWater int64
 
 	byClass map[*types.Class]*ClassStat
+	err     error // first accounting violation, kept instead of panicking
 }
 
 // New returns an empty ledger.
@@ -81,14 +82,31 @@ func (l *Ledger) Alloc(c *types.Class, size, deadBytes, adjSize int) {
 }
 
 // Free records the destruction of one object previously passed to Alloc
-// with the same sizes.
+// with the same sizes. A free that would drive the live-byte counters
+// negative indicates an accounting bug; it is recorded via Err rather than
+// panicking, so one bad benchmark cannot abort a whole sweep. The counters
+// are clamped at zero to keep later statistics finite.
 func (l *Ledger) Free(c *types.Class, size, deadBytes, adjSize int) {
 	l.LiveBytes -= int64(size)
 	l.AdjustedLiveBytes -= int64(adjSize)
 	if l.LiveBytes < 0 || l.AdjustedLiveBytes < 0 {
-		panic(fmt.Sprintf("heapsim: negative live bytes (size=%d adj=%d)", size, adjSize))
+		if l.err == nil {
+			l.err = fmt.Errorf("heapsim: negative live bytes (size=%d adj=%d live=%d adjLive=%d)",
+				size, adjSize, l.LiveBytes, l.AdjustedLiveBytes)
+		}
+		if l.LiveBytes < 0 {
+			l.LiveBytes = 0
+		}
+		if l.AdjustedLiveBytes < 0 {
+			l.AdjustedLiveBytes = 0
+		}
 	}
 }
+
+// Err returns the first accounting violation observed, or nil. A ledger
+// with a non-nil Err still holds usable (clamped) statistics, but they
+// should be reported as degraded.
+func (l *Ledger) Err() error { return l.err }
 
 // ByClass returns per-class statistics sorted by class name.
 func (l *Ledger) ByClass() []*ClassStat {

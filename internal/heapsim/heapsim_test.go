@@ -76,14 +76,27 @@ func TestPercentagesOnEmptyLedger(t *testing.T) {
 	}
 }
 
-func TestNegativeLiveBytesPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("freeing more than allocated must panic (ledger invariant)")
-		}
-	}()
+func TestNegativeLiveBytesRecorded(t *testing.T) {
 	l := New()
 	l.Free(cls("A"), 8, 0, 8)
+	if l.Err() == nil {
+		t.Fatal("freeing more than allocated must record an accounting error")
+	}
+	if l.LiveBytes < 0 || l.AdjustedLiveBytes < 0 {
+		t.Fatalf("counters must clamp at zero, got live=%d adj=%d", l.LiveBytes, l.AdjustedLiveBytes)
+	}
+	first := l.Err()
+	l.Free(cls("A"), 4, 0, 4)
+	if l.Err() != first {
+		t.Error("Err must keep the first violation")
+	}
+	// A clean ledger reports no error.
+	clean := New()
+	clean.Alloc(cls("B"), 8, 0, 8)
+	clean.Free(cls("B"), 8, 0, 8)
+	if clean.Err() != nil {
+		t.Errorf("balanced ledger reports error: %v", clean.Err())
+	}
 }
 
 // TestLedgerInvariants: for any interleaving of balanced alloc/free

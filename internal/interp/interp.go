@@ -2,10 +2,12 @@ package interp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
 	"deadmembers/internal/ast"
+	"deadmembers/internal/failure"
 	"deadmembers/internal/heapsim"
 	"deadmembers/internal/hierarchy"
 	"deadmembers/internal/source"
@@ -31,6 +33,11 @@ type Options struct {
 
 	// MaxDepth bounds call nesting (default 10,000).
 	MaxDepth int
+
+	// Context, when non-nil, is polled at the interpreter's step boundary
+	// (every 1024 steps, alongside the MaxSteps check). Cancellation or
+	// deadline expiry aborts the run with a *CancelError.
+	Context context.Context
 }
 
 // Result reports a completed execution.
@@ -48,6 +55,16 @@ type RuntimeError struct {
 }
 
 func (e *RuntimeError) Error() string { return "runtime error: " + e.Msg }
+
+// CancelError reports an execution aborted by context cancellation or
+// deadline expiry. Unwrap exposes the context's error so callers can use
+// errors.Is(err, context.DeadlineExceeded) / context.Canceled.
+type CancelError struct {
+	Err error
+}
+
+func (e *CancelError) Error() string { return "execution cancelled: " + e.Err.Error() }
+func (e *CancelError) Unwrap() error { return e.Err }
 
 // control-flow signals (propagated via panic, caught structurally).
 type ctrlReturn struct{ v Value }
@@ -71,6 +88,7 @@ type Machine struct {
 	depth    int
 	maxDepth int
 	rng      uint64
+	ctx      context.Context
 }
 
 // Run executes prog from main under opts.
@@ -87,6 +105,7 @@ func Run(prog *types.Program, h *hierarchy.Graph, opts Options) (res *Result, er
 		maxSteps: opts.MaxSteps,
 		maxDepth: opts.MaxDepth,
 		rng:      0x2545F4914F6CDD1D,
+		ctx:      opts.Context,
 	}
 	if m.maxSteps <= 0 {
 		m.maxSteps = 200_000_000
@@ -103,11 +122,17 @@ func Run(prog *types.Program, h *hierarchy.Graph, opts Options) (res *Result, er
 
 	defer func() {
 		if r := recover(); r != nil {
-			if re, ok := r.(*RuntimeError); ok {
-				err = re
-				return
+			res = nil
+			switch x := r.(type) {
+			case *RuntimeError:
+				err = x
+			case *CancelError:
+				err = x
+			default:
+				// An interpreter bug tripped by this program: contain it as
+				// a structured failure instead of killing the process.
+				err = failure.New("interp", "program", r)
 			}
-			panic(r)
 		}
 	}()
 
@@ -130,6 +155,11 @@ func (m *Machine) step(pos source.Pos) {
 	m.steps++
 	if m.steps > m.maxSteps {
 		m.fail(pos, "step limit exceeded (%d)", m.maxSteps)
+	}
+	if m.ctx != nil && m.steps&1023 == 0 {
+		if err := m.ctx.Err(); err != nil {
+			panic(&CancelError{Err: err})
+		}
 	}
 }
 

@@ -12,8 +12,14 @@ import (
 // MC++ has no comma operator; commas separate arguments only.
 func (p *Parser) parseExpr() ast.Expr { return p.parseAssignExpr() }
 
-// parseAssignExpr parses assignment (right-associative) and below.
+// parseAssignExpr parses assignment (right-associative) and below. It
+// carries a depth guard of its own because assignment and ternary chains
+// recurse through here while no parseUnaryExpr frame is live.
 func (p *Parser) parseAssignExpr() ast.Expr {
+	defer p.exitDepth()
+	if !p.enterDepth() {
+		return p.depthLimitedExpr()
+	}
 	lhs := p.parseCondExpr()
 	if p.kind().IsAssignOp() {
 		op := p.next()
@@ -57,7 +63,13 @@ func (p *Parser) parseBinaryExpr(minPrec int) ast.Expr {
 }
 
 // parseUnaryExpr parses prefix operators, casts, new/delete, and sizeof.
+// Every expression derivation passes through here before reaching a
+// primary, so this is where the nesting-depth guard lives.
 func (p *Parser) parseUnaryExpr() ast.Expr {
+	defer p.exitDepth()
+	if !p.enterDepth() {
+		return p.depthLimitedExpr()
+	}
 	start := p.cur().Pos
 	switch p.kind() {
 	case token.Minus, token.Not, token.Tilde, token.Star, token.Inc, token.Dec:
@@ -110,6 +122,18 @@ func (p *Parser) parseUnaryExpr() ast.Expr {
 		}
 	}
 	return p.parsePostfixExpr()
+}
+
+// depthLimitedExpr stands in for an expression abandoned at the nesting
+// limit. One token is consumed so the surrounding recovery loops are
+// guaranteed to make progress while the stack unwinds.
+func (p *Parser) depthLimitedExpr() ast.Expr {
+	e := &ast.IntLit{}
+	setPos(e, p.cur().Pos)
+	if !p.at(token.EOF) {
+		p.next()
+	}
+	return e
 }
 
 // isCastStart reports whether the cursor sits at `(` beginning a C-style

@@ -17,13 +17,38 @@ import (
 
 // Parser parses a single file's token stream.
 type Parser struct {
-	file   *source.File
-	toks   []lexer.Token
-	pos    int
-	diags  *source.DiagnosticList
-	types  map[string]bool // class/struct/union names seen in pre-scan
-	panick bool            // in error-recovery mode
+	file    *source.File
+	toks    []lexer.Token
+	pos     int
+	diags   *source.DiagnosticList
+	types   map[string]bool // class/struct/union names seen in pre-scan
+	panick  bool            // in error-recovery mode
+	depth   int             // current recursive-descent depth
+	tooDeep bool            // nesting-limit diagnostic already reported
 }
+
+// MaxNestingDepth bounds recursive-descent depth across expressions and
+// statements, so pathologically nested input yields a diagnostic instead
+// of overflowing the goroutine stack.
+const MaxNestingDepth = 1000
+
+// enterDepth counts one level of recursion and reports false once the
+// nesting limit is exceeded. Callers must register `defer p.exitDepth()`
+// before calling so the count stays balanced on every return path.
+func (p *Parser) enterDepth() bool {
+	p.depth++
+	if p.depth <= MaxNestingDepth {
+		return true
+	}
+	if !p.tooDeep {
+		p.tooDeep = true
+		// Report straight to the list: this must surface even in panick mode.
+		p.diags.Errorf(p.cur().Pos, "nesting too deep (limit %d)", MaxNestingDepth)
+	}
+	return false
+}
+
+func (p *Parser) exitDepth() { p.depth-- }
 
 // ParseFile parses the given source file, reporting problems to diags.
 // A (possibly partial) File is always returned.

@@ -27,6 +27,10 @@ func (p *Parser) parseBlock() *ast.BlockStmt {
 
 // parseStmt parses one statement.
 func (p *Parser) parseStmt() ast.Stmt {
+	defer p.exitDepth()
+	if !p.enterDepth() {
+		return p.depthLimitedStmt()
+	}
 	p.panick = false // each statement may report fresh errors
 	start := p.cur().Pos
 	switch p.kind() {
@@ -80,6 +84,17 @@ func (p *Parser) parseStmt() ast.Stmt {
 	es := &ast.ExprStmt{X: e}
 	setPos(es, start)
 	return es
+}
+
+// depthLimitedStmt stands in for a statement abandoned at the nesting
+// limit, consuming one token to guarantee progress.
+func (p *Parser) depthLimitedStmt() ast.Stmt {
+	b := &ast.BlockStmt{}
+	setPos(b, p.cur().Pos)
+	if !p.at(token.EOF) {
+		p.next()
+	}
+	return b
 }
 
 // startsDecl reports whether the statement at the cursor is a local

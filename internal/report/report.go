@@ -6,6 +6,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/dynprof"
 	"deadmembers/internal/engine"
+	"deadmembers/internal/failure"
 )
 
 // BenchmarkResult is everything measured for one corpus benchmark.
@@ -43,6 +45,14 @@ type BenchmarkResult struct {
 	// pipeline run (Parse/Sema from the compilation, CallGraph/Liveness
 	// from the RTA analysis).
 	Timings engine.Timings
+
+	// Degraded marks a row whose pipeline did not complete cleanly: a
+	// compile error, a contained panic, or a heap-accounting violation.
+	// FailReason says why. A degraded row's measured fields are either
+	// zero (the stage never ran) or best-effort salvage — exhibits flag
+	// them and the summary statistics skip them.
+	Degraded   bool
+	FailReason string
 }
 
 // Collect runs analysis and instrumented execution for one benchmark.
@@ -54,37 +64,65 @@ func Collect(b *bench.Benchmark) (*BenchmarkResult, error) {
 // frontend compile is cached, so a subsequent ablation sweep (or repeated
 // collection) reuses the same Compilation.
 func CollectIn(s *engine.Session, b *bench.Benchmark) (*BenchmarkResult, error) {
-	c, err := b.Compile(s)
+	return CollectInContext(context.Background(), s, b)
+}
+
+// CollectInContext is CollectIn under a context: cancellation or deadline
+// expiry aborts the benchmark's pipeline between work items and is
+// reported as the returned error.
+func CollectInContext(ctx context.Context, s *engine.Session, b *bench.Benchmark) (*BenchmarkResult, error) {
+	c, err := b.CompileContext(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	res, timings := c.AnalyzeTimed(deadmember.Options{CallGraph: callgraph.RTA})
-	prof, err := dynprof.Run(res, dynprof.Options{})
+	res, timings, err := c.AnalyzeTimedContext(ctx, deadmember.Options{CallGraph: callgraph.RTA})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
-	st := res.Stats()
-	l := prof.Ledger
-	return &BenchmarkResult{
+	r := &BenchmarkResult{
 		Name:        b.Name,
 		Description: b.Description,
 		Paper:       b.Paper,
 		LOC:         c.FileSet.TotalCodeLines(),
-		Classes:     st.Classes,
-		UsedClasses: st.UsedClasses,
-		Members:     st.Members,
-		DeadMembers: st.DeadMembers,
-		DeadPercent: st.DeadPercent(),
+		Timings:     timings,
+	}
+	if c.Degraded() || res.Degraded() {
+		r.Degraded = true
+		fs := append(append([]*failure.Failure{}, c.Failures...), res.Failures...)
+		if len(fs) > 0 {
+			r.FailReason = fs[0].Error()
+		}
+	}
+	st := res.Stats()
+	r.Classes = st.Classes
+	r.UsedClasses = st.UsedClasses
+	r.Members = st.Members
+	r.DeadMembers = st.DeadMembers
+	r.DeadPercent = st.DeadPercent()
 
-		ObjectSpace:    l.TotalBytes,
-		DeadSpace:      l.DeadBytes,
-		HighWater:      l.HighWater,
-		HighWaterWo:    l.AdjustedHighWater,
-		DynDeadPercent: l.DeadPercent(),
-		HWMReduction:   l.HighWaterReductionPercent(),
-
-		Timings: timings,
-	}, nil
+	prof, err := dynprof.Run(res, dynprof.Options{Context: ctx})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		// The static half is intact; keep it and report the row degraded
+		// rather than abandoning the whole sweep.
+		r.Degraded = true
+		r.FailReason = err.Error()
+		return r, nil
+	}
+	if prof.AccountingErr != nil {
+		r.Degraded = true
+		r.FailReason = prof.AccountingErr.Error()
+	}
+	l := prof.Ledger
+	r.ObjectSpace = l.TotalBytes
+	r.DeadSpace = l.DeadBytes
+	r.HighWater = l.HighWater
+	r.HighWaterWo = l.AdjustedHighWater
+	r.DynDeadPercent = l.DeadPercent()
+	r.HWMReduction = l.HighWaterReductionPercent()
+	return r, nil
 }
 
 // CollectAll measures the whole corpus in presentation order.
@@ -95,15 +133,56 @@ func CollectAll() ([]*BenchmarkResult, error) {
 // CollectAllIn measures the whole corpus against a shared engine session,
 // compiling each benchmark at most once per session.
 func CollectAllIn(s *engine.Session) ([]*BenchmarkResult, error) {
+	return CollectAllInContext(context.Background(), s)
+}
+
+// CollectAllInContext measures the whole corpus under a context. One
+// benchmark failing does not abandon the sweep: the failure becomes a
+// degraded stub row (zero measurements, FailReason set) and collection
+// continues with the next benchmark. Only cancellation aborts the sweep,
+// reported as the returned error.
+func CollectAllInContext(ctx context.Context, s *engine.Session) ([]*BenchmarkResult, error) {
 	var out []*BenchmarkResult
 	for _, b := range bench.All() {
-		r, err := CollectIn(s, b)
+		r, err := CollectInContext(ctx, s, b)
 		if err != nil {
-			return nil, err
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			r = &BenchmarkResult{
+				Name:        b.Name,
+				Description: b.Description,
+				Paper:       b.Paper,
+				Degraded:    true,
+				FailReason:  err.Error(),
+			}
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// AnyDegraded reports whether any collected row is degraded; callers use
+// it to choose a nonzero exit code while still rendering what survived.
+func AnyDegraded(results []*BenchmarkResult) bool {
+	for _, r := range results {
+		if r.Degraded {
+			return true
+		}
+	}
+	return false
+}
+
+// DegradedNote renders a one-line-per-benchmark account of the degraded
+// rows, or "" when the sweep was clean.
+func DegradedNote(results []*BenchmarkResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		if r.Degraded {
+			fmt.Fprintf(&b, "DEGRADED %s: %s\n", r.Name, r.FailReason)
+		}
+	}
+	return b.String()
 }
 
 // TimingsTable renders the per-benchmark, per-stage wall-clock durations
@@ -142,13 +221,20 @@ func Table1(results []*BenchmarkResult) string {
 	b.WriteString("benchmark   description                                        LOC          classes(used)       members\n")
 	b.WriteString(strings.Repeat("-", 110) + "\n")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-11s %-48s %6d|%6d  %4d(%4d)|%4d(%4d)  %5d|%5d\n",
+		fmt.Fprintf(&b, "%-11s %-48s %6d|%6d  %4d(%4d)|%4d(%4d)  %5d|%5d%s\n",
 			r.Name, truncate(r.Description, 48),
 			r.LOC, r.Paper.LOC,
 			r.Classes, r.UsedClasses, r.Paper.Classes, r.Paper.UsedClasses,
-			r.Members, r.Paper.Members)
+			r.Members, r.Paper.Members, degradedMark(r))
 	}
 	return b.String()
+}
+
+func degradedMark(r *BenchmarkResult) string {
+	if r.Degraded {
+		return "  [degraded]"
+	}
+	return ""
 }
 
 // Figure3 renders the static dead-member percentages as a bar chart
@@ -160,8 +246,8 @@ func Figure3(results []*BenchmarkResult) string {
 	const scale = 2.0 // columns per percent
 	for _, r := range results {
 		bar := strings.Repeat("#", int(r.DeadPercent*scale+0.5))
-		fmt.Fprintf(&b, "%-10s |%-60s %5.1f%%  (dead %d of %d)\n",
-			r.Name, bar, r.DeadPercent, r.DeadMembers, r.Members)
+		fmt.Fprintf(&b, "%-10s |%-60s %5.1f%%  (dead %d of %d)%s\n",
+			r.Name, bar, r.DeadPercent, r.DeadMembers, r.Members, degradedMark(r))
 		caret := int(r.Paper.DeadPercent*scale + 0.5)
 		if caret > 0 {
 			fmt.Fprintf(&b, "%-10s |%s^ %.1f%% target\n", "", strings.Repeat(" ", caret), r.Paper.DeadPercent)
@@ -184,7 +270,7 @@ func Table2(results []*BenchmarkResult) string {
 			r.DeadSpace, r.Paper.DeadSpace,
 			r.HighWater, r.Paper.HighWater,
 			r.HighWaterWo, r.Paper.HighWaterWo,
-			approxMark(r.Paper.Approx))
+			approxMark(r.Paper.Approx)+degradedMark(r))
 	}
 	return b.String()
 }
@@ -227,7 +313,7 @@ func Summarize(results []*BenchmarkResult) SummaryStats {
 	var s SummaryStats
 	n := 0
 	for _, r := range results {
-		if r.Name == "richards" || r.Name == "deltablue" {
+		if r.Name == "richards" || r.Name == "deltablue" || r.Degraded {
 			continue
 		}
 		n++
@@ -257,7 +343,7 @@ func Summarize(results []*BenchmarkResult) SummaryStats {
 func StaticDynamicCorrelation(results []*BenchmarkResult) float64 {
 	var xs, ys []float64
 	for _, r := range results {
-		if r.Name == "richards" || r.Name == "deltablue" {
+		if r.Name == "richards" || r.Name == "deltablue" || r.Degraded {
 			continue
 		}
 		xs = append(xs, r.DeadPercent)

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -258,5 +259,53 @@ func TestAblationSweepCompilesOncePerBenchmark(t *testing.T) {
 	}
 	if got, want := AblationTable(rows), AblationTable(seed); got != want {
 		t.Fatalf("engine ablation table differs from the recompile-per-variant table:\n--- engine ---\n%s--- seed ---\n%s", got, want)
+	}
+}
+
+// TestSweepSurvivesDegradedBenchmark: a panic contained while compiling
+// one benchmark must not abandon the sweep — the crashed benchmark gets a
+// degraded stub row and every other row is measured normally.
+func TestSweepSurvivesDegradedBenchmark(t *testing.T) {
+	s := engine.NewSession(engine.Config{ParseFault: func(name string) {
+		if name == "richards.mcc" {
+			panic("injected parse fault")
+		}
+	}})
+	results, err := CollectAllInContext(context.Background(), s)
+	if err != nil {
+		t.Fatalf("sweep aborted: %v", err)
+	}
+	if len(results) != len(bench.All()) {
+		t.Fatalf("got %d rows, want one per benchmark (%d)", len(results), len(bench.All()))
+	}
+	if !AnyDegraded(results) {
+		t.Fatal("expected a degraded row")
+	}
+	for _, r := range results {
+		if r.Name == "richards" {
+			if !r.Degraded || r.FailReason == "" {
+				t.Errorf("richards row = %+v, want degraded with a reason", r)
+			}
+		} else if r.Degraded {
+			t.Errorf("%s unexpectedly degraded: %s", r.Name, r.FailReason)
+		} else if r.Members == 0 {
+			t.Errorf("%s has no measurements", r.Name)
+		}
+	}
+	if note := DegradedNote(results); !strings.Contains(note, "richards") {
+		t.Errorf("DegradedNote = %q, want it to name richards", note)
+	}
+	if sum := Summarize(results); sum.AvgDeadPercent <= 0 {
+		t.Errorf("summary over surviving rows is empty: %+v", sum)
+	}
+}
+
+// TestSweepAbortsOnCancellation: cancellation is not a per-benchmark
+// failure — it aborts the whole sweep with an error.
+func TestSweepAbortsOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CollectAllInContext(ctx, engine.NewSession(engine.Config{})); err == nil {
+		t.Fatal("expected the cancelled sweep to report an error")
 	}
 }

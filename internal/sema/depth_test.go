@@ -1,0 +1,34 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"deadmembers/internal/ast"
+	"deadmembers/internal/sema"
+	"deadmembers/internal/source"
+)
+
+// TestCheckerDepthGuard drives sema.Check with a hand-built AST deeper
+// than the parser can ever produce. The checker must bail out with a
+// diagnostic instead of overflowing the stack.
+func TestCheckerDepthGuard(t *testing.T) {
+	expr := ast.Expr(&ast.IntLit{Value: 1})
+	for i := 0; i < sema.MaxExprDepth+100; i++ {
+		expr = &ast.Paren{X: expr}
+	}
+	file := &ast.File{Name: "gen.mcc", Decls: []ast.Decl{
+		&ast.FuncDecl{
+			Name:   "main",
+			Return: &ast.NamedType{Name: "int"},
+			Body:   &ast.BlockStmt{Stmts: []ast.Stmt{&ast.ReturnStmt{X: expr}}},
+		},
+	}}
+	fset := source.NewFileSet()
+	fset.AddFile("gen.mcc", "")
+	diags := source.NewDiagnosticList(fset)
+	sema.Check(fset, []*ast.File{file}, diags)
+	if !strings.Contains(diags.String(), "exceeds checker limit") {
+		t.Fatalf("expected a checker depth diagnostic, got:\n%s", diags.String())
+	}
+}

@@ -8,8 +8,19 @@ import (
 )
 
 // checkExpr type-checks e, records its type in Info.Types, and returns it.
-// Errors yield IntType so checking continues.
+// Errors yield IntType so checking continues. Recursion is bounded by
+// MaxExprDepth; subtrees past the limit are typed as int without descent.
 func (c *Checker) checkExpr(e ast.Expr) types.Type {
+	c.exprDepth++
+	defer func() { c.exprDepth-- }()
+	if c.exprDepth > MaxExprDepth {
+		if !c.tooDeep {
+			c.tooDeep = true
+			c.diags.Errorf(e.Pos(), "expression nesting exceeds checker limit (%d)", MaxExprDepth)
+		}
+		c.info.Types[e] = types.IntType
+		return types.IntType
+	}
 	t := c.checkExpr1(e)
 	if t == nil {
 		t = types.IntType

@@ -16,13 +16,20 @@ import (
 
 // Checker holds the state of one semantic-analysis run.
 type Checker struct {
-	prog   *types.Program
-	info   *types.Info
-	graph  *hierarchy.Graph
-	diags  *source.DiagnosticList
-	scopes []map[string]*types.Var
-	cur    *types.Func // function currently being checked
+	prog      *types.Program
+	info      *types.Info
+	graph     *hierarchy.Graph
+	diags     *source.DiagnosticList
+	scopes    []map[string]*types.Var
+	cur       *types.Func // function currently being checked
+	exprDepth int         // current checkExpr recursion depth
+	tooDeep   bool        // depth-limit diagnostic already reported
 }
+
+// MaxExprDepth caps expression recursion in the checker. It sits above the
+// parser's nesting limit, so it only trips for ASTs built directly rather
+// than parsed — a second line of defense against stack overflow.
+const MaxExprDepth = 2000
 
 // Check runs semantic analysis over the parsed files. It always returns a
 // program (possibly partial if diags records errors) and the hierarchy

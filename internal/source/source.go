@@ -57,6 +57,19 @@ func newFileAt(name, content string, base int) *File {
 	return f
 }
 
+// MaxFileSize bounds the size of a single source file the toolchain will
+// lex and parse. Oversized files are registered (so positions resolve) but
+// rejected with a diagnostic instead of being fed to the frontend.
+const MaxFileSize = 16 << 20 // 16 MiB
+
+// CheckSize returns a descriptive error when the file exceeds MaxFileSize.
+func (f *File) CheckSize() error {
+	if len(f.content) > MaxFileSize {
+		return fmt.Errorf("file too large: %d bytes (limit %d)", len(f.content), MaxFileSize)
+	}
+	return nil
+}
+
 // Name returns the file's name as given to NewFile.
 func (f *File) Name() string { return f.name }
 

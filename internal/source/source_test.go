@@ -140,3 +140,14 @@ func TestTotalCodeLines(t *testing.T) {
 		t.Errorf("total code lines = %d, want 3", got)
 	}
 }
+
+func TestCheckSizeBoundary(t *testing.T) {
+	ok := NewFile("ok.mcc", strings.Repeat("x", MaxFileSize))
+	if err := ok.CheckSize(); err != nil {
+		t.Fatalf("file at the limit rejected: %v", err)
+	}
+	big := NewFile("big.mcc", strings.Repeat("x", MaxFileSize+1))
+	if err := big.CheckSize(); err == nil {
+		t.Fatal("file past the limit accepted")
+	}
+}
