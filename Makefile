@@ -2,13 +2,21 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench fuzz ci
+.PHONY: build vet lint test race bench fuzz ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# deadlint smoke over the example programs. Each example is a complete
+# program with its own main(), so they are linted one file at a time.
+# deadlint exits 0 even when it reports findings; only compile errors,
+# degraded runs, and usage mistakes fail the target.
+lint:
+	$(GO) build -o bin/deadlint ./cmd/deadlint
+	for f in examples/mcc/*.mcc; do bin/deadlint $$f || exit 1; done
 
 test:
 	$(GO) test ./...
@@ -26,6 +34,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzCompile -fuzztime=$(FUZZTIME) .
 	$(GO) test -fuzz=FuzzAnalyze -fuzztime=$(FUZZTIME) .
 	$(GO) test -fuzz=FuzzStripRoundTrip -fuzztime=$(FUZZTIME) .
+	$(GO) test -fuzz=FuzzCFG -fuzztime=$(FUZZTIME) .
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build vet race
+ci: build vet race lint

@@ -41,6 +41,7 @@ import (
 	"deadmembers/internal/failure"
 	"deadmembers/internal/frontend"
 	"deadmembers/internal/interp"
+	"deadmembers/internal/lint"
 	"deadmembers/internal/strip"
 )
 
@@ -133,6 +134,19 @@ type Result = deadmember.Result
 // and marked degraded instead.
 type Failure = failure.Failure
 
+// LintOptions configures the flow-sensitive lint pass.
+type LintOptions struct {
+	// Budget caps dataflow solver steps per function (0 = automatic).
+	Budget int
+}
+
+// LintFinding is one flow-sensitive diagnostic.
+type LintFinding = lint.Finding
+
+// LintResult is a completed lint run: position-sorted findings plus the
+// degradation record (contained panics and budget overruns).
+type LintResult = lint.Result
+
 // Profile is a completed dynamic measurement.
 type Profile = dynprof.Profile
 
@@ -216,6 +230,19 @@ func (c *Compilation) AnalyzeTimed(opts Options) (*Result, Timings) {
 // AnalyzeTimedContext is AnalyzeTimed under a context.
 func (c *Compilation) AnalyzeTimedContext(ctx context.Context, opts Options) (*Result, Timings, error) {
 	return c.eng.AnalyzeTimedContext(ctx, opts.analysisOptions())
+}
+
+// Lint runs the flow-sensitive diagnostics — dead-store detection and
+// write-only-member corroboration — on top of the analysis, returning
+// findings sorted by (file, line, col, check).
+func (c *Compilation) Lint(opts Options, lopts LintOptions) *LintResult {
+	return c.eng.Lint(opts.analysisOptions(), lint.Options{Budget: lopts.Budget})
+}
+
+// LintContext is Lint under a context, with per-stage timings. An
+// interrupted run returns the context's error and a nil result.
+func (c *Compilation) LintContext(ctx context.Context, opts Options, lopts LintOptions) (*LintResult, Timings, error) {
+	return c.eng.LintContext(ctx, opts.analysisOptions(), lint.Options{Budget: lopts.Budget})
 }
 
 // Profile analyzes and then executes the program with an instrumented

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"deadmembers"
+	"deadmembers/internal/cfg"
+	"deadmembers/internal/frontend"
 )
 
 // The fuzz targets hold the pipeline to its containment contract on
@@ -73,6 +75,49 @@ func FuzzAnalyze(f *testing.F) {
 				if !res.IsDead(m) {
 					t.Fatalf("%s listed dead but IsDead is false", m.QualifiedName())
 				}
+			}
+		}
+	})
+}
+
+// FuzzCFG holds the flow-sensitive layer to its contract on arbitrary
+// compiling input: every function's CFG satisfies the structural
+// invariants, the lint pass terminates under the default solver budget
+// without degrading, and a deliberately starved budget surfaces only
+// orderly "budget" failures — never a hang or a panic.
+func FuzzCFG(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, text string) {
+		res := frontend.Compile(frontend.Source{Name: "fuzz.mcc", Text: text})
+		if res.Err() != nil {
+			return
+		}
+		for _, fn := range res.Program.AllFuncs() {
+			g := cfg.Build(fn)
+			if g == nil {
+				continue
+			}
+			if err := g.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if g.Dump() == "" || g.DOT() == "" {
+				t.Fatalf("%s: empty CFG rendering", fn.QualifiedName())
+			}
+		}
+
+		c, ok := fuzzCompile(t, text)
+		if !ok {
+			return
+		}
+		lres := c.Lint(deadmembers.Options{}, deadmembers.LintOptions{})
+		if lres.Degraded() {
+			t.Fatalf("lint degraded on plain source input under the default budget: %v", lres.Failures)
+		}
+		// A starved budget must fail politely, function by function.
+		lres = c.Lint(deadmembers.Options{}, deadmembers.LintOptions{Budget: 1})
+		for _, fl := range lres.Failures {
+			if fl.Stack != "budget" {
+				t.Fatalf("non-budget failure under Budget=1: %+v", fl)
 			}
 		}
 	})

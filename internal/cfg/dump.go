@@ -1,0 +1,85 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"deadmembers/internal/ast"
+	"deadmembers/internal/printer"
+)
+
+// Dump renders the graph in the textual golden-test format:
+//
+//	fn C::method
+//	B0 (entry):
+//	    x = 1
+//	    -> B1 B2
+//	B1 (while.body) [unreachable]:
+//	    -> B0
+//	B2 (exit):
+//
+// Successor order is the builder's deterministic branch order.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fn %s\n", g.Fn.QualifiedName())
+	for _, blk := range g.Blocks {
+		mark := ""
+		if !blk.Reachable {
+			mark = " [unreachable]"
+		}
+		fmt.Fprintf(&b, "B%d (%s)%s:\n", blk.ID, blk.Label, mark)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&b, "    %s\n", renderNode(n))
+		}
+		if len(blk.Succs) > 0 {
+			b.WriteString("    ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&b, " B%d", s.ID)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz dot syntax for debugging.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph cfg {\n")
+	fmt.Fprintf(&b, "  label=%q;\n", g.Fn.QualifiedName())
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, blk := range g.Blocks {
+		var lines []string
+		lines = append(lines, fmt.Sprintf("B%d (%s)", blk.ID, blk.Label))
+		for _, n := range blk.Nodes {
+			lines = append(lines, renderNode(n))
+		}
+		style := ""
+		if !blk.Reachable {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  b%d [label=%q%s];\n", blk.ID, strings.Join(lines, "\\l")+"\\l", style)
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, "  b%d -> b%d;\n", blk.ID, s.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// renderNode renders one atom for dumps.
+func renderNode(n ast.Node) string {
+	switch x := n.(type) {
+	case *ast.VarDecl:
+		return "decl " + x.Name
+	case *ast.CtorInit:
+		return "init " + x.Name
+	case *ast.ReturnStmt:
+		return "return"
+	case ast.Expr:
+		return printer.PrintExpr(x)
+	}
+	return fmt.Sprintf("%T", n)
+}

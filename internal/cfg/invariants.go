@@ -1,0 +1,57 @@
+package cfg
+
+import "fmt"
+
+// CheckInvariants verifies the structural guarantees every graph
+// promises: dense creation-order IDs, entry first and exit last, edge
+// symmetry, a reachable entry, an exit with no successors, and non-nil
+// atoms. It returns the first violation found, or nil. The unit tests
+// and the FuzzCFG target at the repository root both lean on it.
+func (g *Graph) CheckInvariants() error {
+	qn := g.Fn.QualifiedName()
+	if len(g.Blocks) == 0 {
+		return fmt.Errorf("%s: graph with no blocks", qn)
+	}
+	if g.Entry != g.Blocks[0] {
+		return fmt.Errorf("%s: entry is not block 0", qn)
+	}
+	if g.Exit != g.Blocks[len(g.Blocks)-1] {
+		return fmt.Errorf("%s: exit is not the last block", qn)
+	}
+	if !g.Entry.Reachable {
+		return fmt.Errorf("%s: entry unreachable", qn)
+	}
+	if len(g.Exit.Succs) != 0 {
+		return fmt.Errorf("%s: exit has successors", qn)
+	}
+	for i, b := range g.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("%s: block at index %d has ID %d", qn, i, b.ID)
+		}
+		for _, n := range b.Nodes {
+			if n == nil {
+				return fmt.Errorf("%s: B%d has a nil atom", qn, b.ID)
+			}
+		}
+		for _, s := range b.Succs {
+			if !hasBlock(s.Preds, b) {
+				return fmt.Errorf("%s: edge B%d->B%d missing from preds", qn, b.ID, s.ID)
+			}
+		}
+		for _, p := range b.Preds {
+			if !hasBlock(p.Succs, b) {
+				return fmt.Errorf("%s: pred edge B%d->B%d missing from succs", qn, p.ID, b.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func hasBlock(bs []*Block, want *Block) bool {
+	for _, b := range bs {
+		if b == want {
+			return true
+		}
+	}
+	return false
+}

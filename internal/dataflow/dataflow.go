@@ -1,0 +1,256 @@
+// Package dataflow implements a generic iterative worklist solver for
+// gen/kill bit-vector dataflow problems over control-flow graphs.
+//
+// The solver is direction-agnostic (forward or backward), deterministic
+// (a FIFO worklist with deterministic seeding, so fact vectors are
+// byte-identical across runs), and bounded: every call carries a step
+// budget, and exceeding it returns ErrBudget with the partial solution
+// instead of spinning — the containment contract the fuzz targets hold
+// it to. Cancellation via context is polled between steps.
+//
+// Facts are opaque bit indices; internal/lint keys them by member-access
+// locations, but the solver works for any monotone gen/kill problem.
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// BitSet is a fixed-size bit vector. The zero value is an empty set of
+// zero capacity; allocate with NewBitSet.
+type BitSet []uint64
+
+// NewBitSet returns an empty set with capacity for n bits.
+func NewBitSet(n int) BitSet {
+	return make(BitSet, (n+63)/64)
+}
+
+// Set adds bit i.
+func (b BitSet) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Has reports whether bit i is present.
+func (b BitSet) Has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// SetAll adds bits 0..n-1.
+func (b BitSet) SetAll(n int) {
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+}
+
+// Union adds every bit of o to b, reporting whether b changed.
+func (b BitSet) Union(o BitSet) bool {
+	changed := false
+	for i, w := range o {
+		if nw := b[i] | w; nw != b[i] {
+			b[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndNot removes every bit of o from b.
+func (b BitSet) AndNot(o BitSet) {
+	for i, w := range o {
+		b[i] &^= w
+	}
+}
+
+// Copy overwrites b with o (same capacity).
+func (b BitSet) Copy(o BitSet) { copy(b, o) }
+
+// Reset clears all bits.
+func (b BitSet) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (b BitSet) Clone() BitSet {
+	c := make(BitSet, len(b))
+	copy(c, b)
+	return c
+}
+
+// Count returns the number of set bits.
+func (b BitSet) Count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Direction selects the dataflow direction.
+type Direction int
+
+const (
+	// Forward propagates facts along control flow (entry to exit).
+	Forward Direction = iota
+	// Backward propagates facts against control flow (exit to entry).
+	Backward
+)
+
+// ErrBudget is returned (wrapped) when the solver exceeds its step
+// budget; the partial solution accompanies it.
+var ErrBudget = errors.New("dataflow: step budget exhausted")
+
+// Problem is one gen/kill dataflow instance over a block graph. Blocks
+// are dense IDs 0..NumBlocks-1 (internal/cfg numbering); only successor
+// adjacency is required — predecessors are derived.
+type Problem struct {
+	NumBlocks int
+	Succs     [][]int // Succs[b] lists the successor block IDs of b
+	Bits      int     // size of the fact vectors
+
+	// Gen and Kill are the per-block transfer facts: for each block b,
+	// out = Gen[b] ∪ (in − Kill[b]) (roles of in/out swap for Backward).
+	// A nil entry is treated as empty.
+	Gen, Kill []BitSet
+
+	// Boundary is the fact vector at the graph boundary: the In of
+	// entry blocks (no predecessors) for Forward problems, the Out of
+	// exit blocks (no successors) for Backward ones. Nil means empty.
+	Boundary BitSet
+
+	// Budget caps the number of block-transfer steps; 0 selects
+	// DefaultBudget, which no terminating monotone instance exceeds.
+	Budget int
+
+	// Ctx, when non-nil, is polled periodically; cancellation aborts
+	// the solve with the context's error.
+	Ctx context.Context
+
+	Dir Direction
+}
+
+// Solution holds the fixpoint fact vectors: In[b] on entry to block b,
+// Out[b] on exit (in the forward sense regardless of direction).
+type Solution struct {
+	In, Out []BitSet
+	Steps   int
+}
+
+// DefaultBudget returns the automatic step budget for a problem of the
+// given shape. A monotone gen/kill solve re-processes a block only when
+// an incoming fact vector grows, so edges*(bits+1) + blocks bounds any
+// terminating run; the default doubles that and adds slack, making an
+// overrun a reliable signal of a malformed instance rather than a slow
+// one.
+func DefaultBudget(blocks, edges, bits int) int {
+	return 64 + 2*(blocks+(edges+1)*(bits+1))
+}
+
+// Solve runs the worklist iteration to a fixpoint. On budget exhaustion
+// it returns the partial solution and an error wrapping ErrBudget; on
+// cancellation, the partial solution and the context error.
+func Solve(p Problem) (*Solution, error) {
+	n := p.NumBlocks
+	sol := &Solution{In: make([]BitSet, n), Out: make([]BitSet, n)}
+	for i := 0; i < n; i++ {
+		sol.In[i] = NewBitSet(p.Bits)
+		sol.Out[i] = NewBitSet(p.Bits)
+	}
+	if n == 0 {
+		return sol, nil
+	}
+
+	preds := make([][]int, n)
+	edges := 0
+	for b, ss := range p.Succs {
+		edges += len(ss)
+		for _, s := range ss {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	budget := p.Budget
+	if budget <= 0 {
+		budget = DefaultBudget(n, edges, p.Bits)
+	}
+
+	// src/dst edges seen from the iteration's point of view: a backward
+	// solve walks Succs to gather input facts and notifies Preds.
+	inputs, notify := preds, p.Succs
+	if p.Dir == Backward {
+		inputs, notify = p.Succs, preds
+	}
+
+	// FIFO worklist, deterministically seeded: reverse postorder would
+	// be fastest, but plain ID order (reversed for backward problems,
+	// whose IDs grow roughly source-forward) converges fine and keeps
+	// the iteration order — and therefore Steps — reproducible.
+	queue := make([]int, 0, n)
+	inQueue := make([]bool, n)
+	push := func(b int) {
+		if !inQueue[b] {
+			inQueue[b] = true
+			queue = append(queue, b)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if p.Dir == Backward {
+			push(n - 1 - i)
+		} else {
+			push(i)
+		}
+	}
+
+	gather := NewBitSet(p.Bits)
+	for len(queue) > 0 {
+		if sol.Steps >= budget {
+			return sol, fmt.Errorf("%w after %d steps (budget %d, %d blocks, %d bits)",
+				ErrBudget, sol.Steps, budget, n, p.Bits)
+		}
+		if p.Ctx != nil && sol.Steps%128 == 0 && p.Ctx.Err() != nil {
+			return sol, p.Ctx.Err()
+		}
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b] = false
+		sol.Steps++
+
+		// Meet: the input-side vector is the union of the neighbouring
+		// blocks' result-side vectors, or Boundary at the graph edge.
+		meet, result := sol.In[b], sol.Out[b]
+		if p.Dir == Backward {
+			meet, result = sol.Out[b], sol.In[b]
+		}
+		meet.Reset()
+		if len(inputs[b]) == 0 {
+			if p.Boundary != nil {
+				meet.Union(p.Boundary)
+			}
+		} else {
+			for _, nb := range inputs[b] {
+				if p.Dir == Backward {
+					meet.Union(sol.In[nb])
+				} else {
+					meet.Union(sol.Out[nb])
+				}
+			}
+		}
+
+		// Transfer: result = gen ∪ (meet − kill). Facts only grow, so
+		// accumulating with Union doubles as change detection.
+		gather.Copy(meet)
+		if p.Kill != nil && p.Kill[b] != nil {
+			gather.AndNot(p.Kill[b])
+		}
+		if p.Gen != nil && p.Gen[b] != nil {
+			gather.Union(p.Gen[b])
+		}
+		if result.Union(gather) {
+			for _, nb := range notify[b] {
+				push(nb)
+			}
+		}
+	}
+	return sol, nil
+}

@@ -37,6 +37,7 @@ import (
 	"deadmembers/internal/frontend"
 	"deadmembers/internal/hierarchy"
 	"deadmembers/internal/interp"
+	"deadmembers/internal/lint"
 	"deadmembers/internal/parser"
 	"deadmembers/internal/sema"
 	"deadmembers/internal/source"
@@ -62,6 +63,10 @@ type Config struct {
 	// FuncFault, when non-nil, is passed to the liveness pass as
 	// deadmember.Exec.FuncFault (fault injection into a liveness shard).
 	FuncFault func(*types.Func)
+
+	// LintFault, when non-nil, is passed to the lint pass as
+	// lint.Exec.FuncFault (fault injection into a lint worker).
+	LintFault func(*types.Func)
 }
 
 func (c Config) workers() int {
@@ -80,6 +85,7 @@ type Timings struct {
 	Sema      time.Duration
 	CallGraph time.Duration
 	Liveness  time.Duration
+	Lint      time.Duration // flow-sensitive pass; zero unless Lint ran
 
 	CallGraphCached bool
 }
@@ -90,11 +96,12 @@ func (t *Timings) Add(other Timings) {
 	t.Sema += other.Sema
 	t.CallGraph += other.CallGraph
 	t.Liveness += other.Liveness
+	t.Lint += other.Lint
 }
 
 // Total sums the stage durations.
 func (t Timings) Total() time.Duration {
-	return t.Parse + t.Sema + t.CallGraph + t.Liveness
+	return t.Parse + t.Sema + t.CallGraph + t.Liveness + t.Lint
 }
 
 // Compilation is the immutable artifact of the frontend stages: a typed
@@ -391,6 +398,47 @@ func (c *Compilation) analyzeCtx(ctx context.Context, opts deadmember.Options) (
 		return nil, t, ctx.Err()
 	}
 	return res, t, nil
+}
+
+// Lint runs the flow-sensitive diagnostics (dead-store and
+// write-only-member checks) on top of a fresh analysis.
+func (c *Compilation) Lint(opts deadmember.Options, lopts lint.Options) *lint.Result {
+	res, _, _ := c.LintContext(context.Background(), opts, lopts)
+	return res
+}
+
+// LintContext is Lint under a context, returning the per-stage timings
+// of this call (Lint is the flow-sensitive pass's wall clock). An
+// interrupted run returns the context's error and a nil result.
+func (c *Compilation) LintContext(ctx context.Context, opts deadmember.Options, lopts lint.Options) (*lint.Result, Timings, error) {
+	ar, t, err := c.analyzeCtx(ctx, opts)
+	if err != nil {
+		return nil, t, err
+	}
+	lres, took, err := c.lintAnalyzed(ctx, ar, lopts)
+	t.Lint = took
+	return lres, t, err
+}
+
+// LintAnalyzed lints an existing analysis result, reusing its call
+// graph and dead set instead of re-running liveness. It returns the
+// pass's wall clock so callers can fold it into their Timings.
+func (c *Compilation) LintAnalyzed(ctx context.Context, ar *deadmember.Result, lopts lint.Options) (*lint.Result, time.Duration, error) {
+	return c.lintAnalyzed(ctx, ar, lopts)
+}
+
+func (c *Compilation) lintAnalyzed(ctx context.Context, ar *deadmember.Result, lopts lint.Options) (*lint.Result, time.Duration, error) {
+	start := time.Now()
+	res := lint.RunWith(ar, lopts, lint.Exec{
+		Workers:   c.cfg.workers(),
+		Ctx:       ctx,
+		FuncFault: c.cfg.LintFault,
+	})
+	took := time.Since(start)
+	if res.Interrupted {
+		return nil, took, ctx.Err()
+	}
+	return res, took, nil
 }
 
 // Profile analyzes and then executes the program with an instrumented

@@ -1,0 +1,88 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"deadmembers/internal/callgraph"
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/engine"
+	"deadmembers/internal/lint"
+	"deadmembers/internal/types"
+)
+
+const lintSrc = `
+class P {
+public:
+    int x;
+    int y;
+    P() : x(0), y(0) {}
+    int sum() { return x + y; }
+};
+void overwrite(P* p) {
+    p->x = 1;
+    p->x = 2;
+}
+int main() {
+    P p;
+    overwrite(&p);
+    print(p.sum());
+    return 0;
+}
+`
+
+func TestLintTimingsAndFindings(t *testing.T) {
+	sess := engine.NewSession(engine.Config{})
+	comp := sess.CompileContext(context.Background(), engine.Source{Name: "lint.mcc", Text: lintSrc})
+	if err := comp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res, timings, err := comp.LintContext(context.Background(),
+		deadmember.Options{CallGraph: callgraph.RTA}, lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded() {
+		t.Fatalf("degraded: %v", res.Failures)
+	}
+	if len(res.Findings) != 1 || res.Findings[0].Check != lint.CheckDeadStore {
+		t.Fatalf("findings = %v, want one dead store", res.Findings)
+	}
+	if timings.Lint <= 0 {
+		t.Errorf("Timings.Lint not populated: %v", timings.Lint)
+	}
+	if timings.Total() < timings.Lint {
+		t.Errorf("Total() = %v excludes Lint = %v", timings.Total(), timings.Lint)
+	}
+}
+
+func TestLintFaultContainment(t *testing.T) {
+	sess := engine.NewSession(engine.Config{
+		LintFault: func(f *types.Func) {
+			if f.QualifiedName() == "overwrite" {
+				panic("injected lint fault")
+			}
+		},
+	})
+	comp := sess.CompileContext(context.Background(), engine.Source{Name: "lint.mcc", Text: lintSrc})
+	if err := comp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := comp.LintContext(context.Background(),
+		deadmember.Options{CallGraph: callgraph.RTA}, lint.Options{})
+	if err != nil {
+		t.Fatalf("a contained panic must not become an error: %v", err)
+	}
+	if !res.Degraded() {
+		t.Fatal("injected fault should degrade the lint result")
+	}
+	found := false
+	for _, f := range res.Failures {
+		if f.Stage == "lint" && f.Unit == "overwrite" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing containment record: %v", res.Failures)
+	}
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders findings one per line in the conventional
+// compiler-diagnostic shape: "file:line:col: check: message".
+func WriteText(w io.Writer, r *Result) error {
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Check, f.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonReport is the machine-readable envelope of a lint run.
+type jsonReport struct {
+	Findings    []Finding `json:"findings"`
+	Funcs       int       `json:"funcs"`
+	Degraded    bool      `json:"degraded"`
+	Failures    []string  `json:"failures,omitempty"`
+	Interrupted bool      `json:"interrupted,omitempty"`
+}
+
+// WriteJSON renders the run as one indented JSON document.
+func WriteJSON(w io.Writer, r *Result) error {
+	rep := jsonReport{
+		Findings:    r.Findings,
+		Funcs:       r.Funcs,
+		Degraded:    r.Degraded(),
+		Interrupted: r.Interrupted,
+	}
+	if rep.Findings == nil {
+		rep.Findings = []Finding{}
+	}
+	for _, f := range r.Failures {
+		rep.Failures = append(rep.Failures, f.Error())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 output — the minimal valid shape (tool/driver/rules and
+// results with physicalLocation) that code-review UIs ingest. The full
+// check catalog is always listed under rules, even when a run produced
+// no findings for a check, so rule metadata is stable across runs.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifRules is the check catalog.
+var sarifRules = []sarifRule{
+	{ID: CheckDeadStore, ShortDescription: sarifMessage{
+		Text: "A member store no execution path can observe before it is overwritten or discarded."}},
+	{ID: CheckWriteOnly, ShortDescription: sarifMessage{
+		Text: "A data member that is only ever written; the store sites are orphaned and the member can be removed."}},
+}
+
+// WriteSARIF renders the run as a SARIF 2.1.0 log.
+func WriteSARIF(w io.Writer, r *Result) error {
+	results := make([]sarifResult, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Check,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "deadlint",
+				InformationURI: "https://example.invalid/deadmembers",
+				Rules:          sarifRules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/types"
+)
+
+// The write-only-member check corroborates the flow-insensitive dead
+// set: for every member the paper's algorithm proves dead, it explains
+// the verdict by pointing at each store site whose value can never be
+// observed — the "orphaned" stores that removing the member would
+// delete. A dead member with no store sites at all is reported once at
+// its declaration.
+func writeOnly(ar *deadmember.Result, funcs []*types.Func, cls []*classification) []Finding {
+	dead := ar.DeadMembers()
+	if len(dead) == 0 {
+		return nil
+	}
+	deadSet := make(map[*types.Field]bool, len(dead))
+	for _, f := range dead {
+		deadSet[f] = true
+	}
+
+	// Store sites of dead members, in reachable-function scan order.
+	var out []Finding
+	seen := map[*types.Field]bool{}
+	for i, fn := range funcs {
+		for _, w := range cls[i].writes {
+			if !deadSet[w.field] {
+				continue
+			}
+			seen[w.field] = true
+			pos := ar.Program.FileSet.Position(w.pos)
+			out = append(out, Finding{
+				Check:  CheckWriteOnly,
+				File:   pos.File,
+				Line:   pos.Line,
+				Col:    pos.Column,
+				Member: w.field.QualifiedName(),
+				Func:   fn.QualifiedName(),
+				Message: fmt.Sprintf("member %s is write-only: this store is orphaned (the member is dead and can be removed)",
+					w.field.QualifiedName()),
+			})
+		}
+	}
+
+	// Dead members never stored in reachable code: report once at the
+	// declaration.
+	for _, fld := range dead {
+		if seen[fld] {
+			continue
+		}
+		pos := ar.Program.FileSet.Position(fld.Pos)
+		out = append(out, Finding{
+			Check:  CheckWriteOnly,
+			File:   pos.File,
+			Line:   pos.Line,
+			Col:    pos.Column,
+			Member: fld.QualifiedName(),
+			Message: fmt.Sprintf("member %s is dead: no reachable code reads or writes it",
+				fld.QualifiedName()),
+		})
+	}
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"deadmembers/internal/dynprof"
 	"deadmembers/internal/engine"
 	"deadmembers/internal/failure"
+	"deadmembers/internal/lint"
 )
 
 // BenchmarkResult is everything measured for one corpus benchmark.
@@ -43,8 +44,12 @@ type BenchmarkResult struct {
 
 	// Timings are the per-stage wall-clock durations of this benchmark's
 	// pipeline run (Parse/Sema from the compilation, CallGraph/Liveness
-	// from the RTA analysis).
+	// from the RTA analysis, Lint from the flow-sensitive pass).
 	Timings engine.Timings
+
+	// LintFindings counts the flow-sensitive diagnostics of a clean run;
+	// degraded rows never contribute to lint statistics.
+	LintFindings int
 
 	// Degraded marks a row whose pipeline did not complete cleanly: a
 	// compile error, a contained panic, or a heap-accounting violation.
@@ -99,6 +104,24 @@ func CollectInContext(ctx context.Context, s *engine.Session, b *bench.Benchmark
 	r.Members = st.Members
 	r.DeadMembers = st.DeadMembers
 	r.DeadPercent = st.DeadPercent()
+
+	// Flow-sensitive pass, reusing the analysis just computed. Rows that
+	// are already degraded are skipped: their findings would be partial,
+	// and the lint statistics only count clean rows (same contract as
+	// the dynamic measurements).
+	if !r.Degraded {
+		lres, lintTime, err := c.LintAnalyzed(ctx, res, lint.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		r.Timings.Lint = lintTime
+		if lres.Degraded() {
+			r.Degraded = true
+			r.FailReason = lres.Failures[0].Error()
+		} else {
+			r.LintFindings = len(lres.Findings)
+		}
+	}
 
 	prof, err := dynprof.Run(res, dynprof.Options{Context: ctx})
 	if err != nil {
@@ -191,11 +214,12 @@ func DegradedNote(results []*BenchmarkResult) string {
 // stages (run paperbench -timings, or deadmem -verbose, to see it).
 func TimingsTable(results []*BenchmarkResult, stats engine.Stats) string {
 	var b strings.Builder
-	b.WriteString("Per-stage wall-clock timings (one RTA analysis per benchmark)\n")
-	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s %12s\n",
-		"benchmark", "parse", "sema", "callgraph", "liveness", "total")
-	b.WriteString(strings.Repeat("-", 76) + "\n")
+	b.WriteString("Per-stage wall-clock timings (one RTA analysis + lint per benchmark)\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s %12s %12s\n",
+		"benchmark", "parse", "sema", "callgraph", "liveness", "lint", "total")
+	b.WriteString(strings.Repeat("-", 89) + "\n")
 	var sum engine.Timings
+	lintFindings, lintRows := 0, 0
 	for _, r := range results {
 		t := r.Timings
 		sum.Add(t)
@@ -203,12 +227,18 @@ func TimingsTable(results []*BenchmarkResult, stats engine.Stats) string {
 		if t.CallGraphCached {
 			graph = "cached"
 		}
-		fmt.Fprintf(&b, "%-10s %12v %12v %12s %12v %12v\n",
-			r.Name, t.Parse, t.Sema, graph, t.Liveness, t.Total())
+		fmt.Fprintf(&b, "%-10s %12v %12v %12s %12v %12v %12v\n",
+			r.Name, t.Parse, t.Sema, graph, t.Liveness, t.Lint, t.Total())
+		if !r.Degraded {
+			lintFindings += r.LintFindings
+			lintRows++
+		}
 	}
-	fmt.Fprintf(&b, "%-10s %12v %12v %12v %12v %12v\n",
-		"total", sum.Parse, sum.Sema, sum.CallGraph, sum.Liveness, sum.Total())
-	fmt.Fprintf(&b, "\nsession: %d frontend compile(s), %d cache hit(s)\n",
+	fmt.Fprintf(&b, "%-10s %12v %12v %12v %12v %12v %12v\n",
+		"total", sum.Parse, sum.Sema, sum.CallGraph, sum.Liveness, sum.Lint, sum.Total())
+	fmt.Fprintf(&b, "\nlint: %d finding(s) across %d clean benchmark(s); degraded rows excluded\n",
+		lintFindings, lintRows)
+	fmt.Fprintf(&b, "session: %d frontend compile(s), %d cache hit(s)\n",
 		stats.Compiles, stats.Hits)
 	return b.String()
 }
