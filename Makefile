@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench fuzz ci
+.PHONY: build vet lint test race race-server bench fuzz serve smoke-server ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the concurrency-heavy layers (the server's
+# singleflight/admission paths and the engine's session cache).
+race-server:
+	$(GO) test -race ./internal/server/... ./internal/engine/...
+
+# Run the analysis daemon locally (see cmd/deadmemd for flags).
+ADDR ?= 127.0.0.1:8100
+serve:
+	$(GO) build -o bin/deadmemd ./cmd/deadmemd
+	bin/deadmemd -addr $(ADDR)
+
+# End-to-end smoke: start deadmemd, probe /healthz, and diff /v1/analyze
+# and /v1/lint responses against deadmem/deadlint stdout byte-for-byte.
+smoke-server:
+	sh scripts/smoke_server.sh
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -37,4 +53,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzCFG -fuzztime=$(FUZZTIME) .
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build vet race lint
+ci: build vet race race-server lint smoke-server

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"deadmembers/internal/buildinfo"
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/engine"
@@ -50,9 +51,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		libraries      = fs.String("library", "", "comma-separated class names treated as library classes")
 		trustDowncasts = fs.Bool("trust-downcasts", false, "treat all downcasts as verified safe")
 		stageTimings   = fs.Bool("timings", false, "print per-stage wall-clock timings to stderr")
+		showVersion    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, buildinfo.Line("deadlint"))
+		return 0
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: deadlint [flags] file.mcc ...")

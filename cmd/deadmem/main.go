@@ -19,6 +19,8 @@ import (
 	"strings"
 
 	"deadmembers"
+	"deadmembers/internal/buildinfo"
+	"deadmembers/internal/textreport"
 )
 
 func main() {
@@ -47,9 +49,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		parallel       = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
 		perClass       = fs.Bool("classes", false, "print a per-class breakdown (IDE-feedback view)")
 		unreachable    = fs.Bool("unreachable", false, "also list unreachable functions")
+		showVersion    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, buildinfo.Line("deadmem"))
+		return 0
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: deadmem [flags] file.mcc ...")
@@ -121,59 +128,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stderr, "deadmem: degraded: %v\n", f)
 	}
 
-	dead := res.DeadMembers()
-	if len(dead) == 0 {
-		fmt.Fprintln(stdout, "no dead data members found")
-	} else {
-		fmt.Fprintf(stdout, "%d dead data member(s):\n", len(dead))
-		for _, f := range dead {
-			loc := res.Program.FileSet.Position(f.Pos)
-			fmt.Fprintf(stdout, "  %-40s declared at %s\n", f.QualifiedName(), loc)
-		}
-	}
-
-	if *verbose {
-		fmt.Fprintln(stdout, "\nlive members:")
-		for _, c := range res.Program.Classes {
-			if res.IsLibraryClass(c) || !res.Used[c] {
-				continue
-			}
-			for _, f := range c.Fields {
-				if m := res.MarkOf(f); m.Live {
-					fmt.Fprintf(stdout, "  %-40s %s\n", f.QualifiedName(), m.Reason)
-				}
-			}
-		}
-	}
-
-	if *perClass {
-		fmt.Fprintln(stdout, "\nper-class breakdown:")
-		for _, row := range res.PerClass() {
-			status := ""
-			if !row.Used {
-				status = " (unused class)"
-			}
-			if row.Library {
-				status = " (library class)"
-			}
-			fmt.Fprintf(stdout, "  %-24s %2d/%2d dead (%5.1f%%)%s\n",
-				row.Class.Name, row.Dead, row.Members, row.DeadPercent(), status)
-		}
-	}
-
-	if *unreachable {
-		fns := res.UnreachableFunctions()
-		fmt.Fprintf(stdout, "\n%d unreachable function(s):\n", len(fns))
-		for _, f := range fns {
-			fmt.Fprintf(stdout, "  %s\n", f.QualifiedName())
-		}
-	}
-
-	s := res.Stats()
-	fmt.Fprintf(stdout, "\n%d classes (%d used), %d data members in used classes, %d dead (%.1f%%)\n",
-		s.Classes, s.UsedClasses, s.Members, s.DeadMembers, s.DeadPercent())
-	if degraded {
-		fmt.Fprintln(stdout, "RESULT DEGRADED: a pipeline stage crashed and was contained; see stderr")
+	if err := textreport.Write(stdout, res, textreport.Options{
+		Verbose:     *verbose,
+		PerClass:    *perClass,
+		Unreachable: *unreachable,
+		Degraded:    degraded,
+	}); err != nil {
+		fmt.Fprintf(stderr, "deadmem: %v\n", err)
+		return 1
 	}
 
 	if *stageTimings {

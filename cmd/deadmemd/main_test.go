@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a strings.Builder safe for the writer goroutine (run)
+// and the reader (test) to share.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-version"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "deadmemd ") {
+		t.Errorf("version output = %q, want deadmemd prefix", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"stray-arg"}, &out, &errOut); code != 2 {
+		t.Errorf("positional arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.256.256.256:99999"}, &out, &errOut); code != 1 {
+		t.Errorf("unlistenable addr: exit %d, want 1", code)
+	}
+}
+
+// TestServeAndGracefulShutdown boots the daemon on an ephemeral port and
+// delivers SIGTERM: run must drain and exit 0 within the grace period.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	var out, errOut syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "2s"}, &out, &errOut)
+	}()
+
+	deadline := time.After(5 * time.Second)
+	for !strings.Contains(errOut.String(), "listening on") {
+		select {
+		case code := <-done:
+			t.Fatalf("exited early with %d, stderr: %s", code, errOut.String())
+		case <-deadline:
+			t.Fatalf("never started listening, stderr: %s", errOut.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d after SIGTERM, stderr: %s", code, errOut.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("did not shut down after SIGTERM, stderr: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "stopped") {
+		t.Errorf("missing drain log, stderr: %s", errOut.String())
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"os"
 
 	"deadmembers"
+	"deadmembers/internal/buildinfo"
+	"deadmembers/internal/strip"
 )
 
 func main() {
@@ -38,9 +40,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		keepUnreachable = fs.Bool("keep-unreachable", false, "do not remove unreachable functions")
 		verify          = fs.Bool("verify", true, "run original and stripped programs and compare behaviour")
 		parallel        = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
+		showVersion     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, buildinfo.Line("deadstrip"))
+		return 0
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: deadstrip [flags] file.mcc ...")
@@ -126,11 +133,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stderr, "verified: identical behaviour (exit %d)\n", after.ExitCode)
 	}
 
-	for _, s := range out.Sources {
-		if len(out.Sources) > 1 {
-			fmt.Fprintf(stdout, "// ---- %s ----\n", s.Name)
-		}
-		fmt.Fprint(stdout, s.Text)
+	if err := strip.WriteSources(stdout, out.Sources); err != nil {
+		fmt.Fprintf(stderr, "deadstrip: %v\n", err)
+		return 1
 	}
 	return 0
 }

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"deadmembers"
+	"deadmembers/internal/buildinfo"
 )
 
 func main() {
@@ -34,13 +35,18 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("mccrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		timeout  = fs.Duration("timeout", 0, "abort compilation and execution after this duration (e.g. 30s; 0 = no limit)")
-		profile  = fs.Bool("profile", false, "run the dead-member analysis and report heap statistics")
-		maxSteps = fs.Int64("max-steps", 0, "statement execution limit (0 = default)")
-		parallel = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
+		timeout     = fs.Duration("timeout", 0, "abort compilation and execution after this duration (e.g. 30s; 0 = no limit)")
+		profile     = fs.Bool("profile", false, "run the dead-member analysis and report heap statistics")
+		maxSteps    = fs.Int64("max-steps", 0, "statement execution limit (0 = default)")
+		parallel    = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, buildinfo.Line("mccrun"))
+		return 0
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: mccrun [flags] file.mcc ...")

@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"deadmembers/internal/bench"
+	"deadmembers/internal/buildinfo"
 	"deadmembers/internal/engine"
 	"deadmembers/internal/report"
 )
@@ -43,20 +44,25 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		timeout  = fs.Duration("timeout", 0, "abort the whole evaluation after this duration (e.g. 2m; 0 = no limit)")
-		table1   = fs.Bool("table1", false, "benchmark characteristics (paper Table 1)")
-		figure3  = fs.Bool("figure3", false, "static dead-member percentages (paper Figure 3)")
-		table2   = fs.Bool("table2", false, "dynamic byte counts (paper Table 2)")
-		figure4  = fs.Bool("figure4", false, "dynamic percentages (paper Figure 4)")
-		summary  = fs.Bool("summary", false, "headline numbers vs the paper's abstract")
-		ablation = fs.Bool("ablation", false, "analysis-variant ablations")
-		timings  = fs.Bool("timings", false, "per-stage engine wall-clock timings and session cache counters")
-		csvOut   = fs.Bool("csv", false, "machine-readable measured results")
-		parallel = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
-		dump     = fs.String("dump", "", "print the MC++ source of the named corpus benchmark and exit")
+		timeout     = fs.Duration("timeout", 0, "abort the whole evaluation after this duration (e.g. 2m; 0 = no limit)")
+		table1      = fs.Bool("table1", false, "benchmark characteristics (paper Table 1)")
+		figure3     = fs.Bool("figure3", false, "static dead-member percentages (paper Figure 3)")
+		table2      = fs.Bool("table2", false, "dynamic byte counts (paper Table 2)")
+		figure4     = fs.Bool("figure4", false, "dynamic percentages (paper Figure 4)")
+		summary     = fs.Bool("summary", false, "headline numbers vs the paper's abstract")
+		ablation    = fs.Bool("ablation", false, "analysis-variant ablations")
+		timings     = fs.Bool("timings", false, "per-stage engine wall-clock timings and session cache counters")
+		csvOut      = fs.Bool("csv", false, "machine-readable measured results")
+		parallel    = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
+		dump        = fs.String("dump", "", "print the MC++ source of the named corpus benchmark and exit")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, buildinfo.Line("paperbench"))
+		return 0
 	}
 
 	if *dump != "" {

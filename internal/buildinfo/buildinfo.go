@@ -1,0 +1,49 @@
+// Package buildinfo derives a version string for the repository's
+// binaries from the build metadata the Go toolchain embeds, so every CLI
+// and the server answer -version without a hand-maintained constant.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the module version of the running binary: the module's
+// release version when built from a tagged checkout, otherwise "devel",
+// suffixed with the VCS revision (and a +dirty marker) when the build
+// recorded one.
+func Version() string {
+	v := "devel"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if mv := bi.Main.Version; mv != "" && mv != "(devel)" {
+		v = mv
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		v += " (" + rev + dirty + ")"
+	}
+	return v
+}
+
+// Line returns the one-line -version output for the named tool, e.g.
+// "deadmem devel (go1.22.0)".
+func Line(tool string) string {
+	return fmt.Sprintf("%s %s (%s)", tool, Version(), runtime.Version())
+}

@@ -1,0 +1,38 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVersionLinePerTool covers the -version output of every binary in
+// the repository: one line, prefixed with the tool's own name, carrying a
+// non-empty version and the Go toolchain version.
+func TestVersionLinePerTool(t *testing.T) {
+	tools := []string{
+		"deadmem",
+		"deadlint",
+		"deadstrip",
+		"mccrun",
+		"paperbench",
+		"deadmemd",
+	}
+	for _, tool := range tools {
+		t.Run(tool, func(t *testing.T) {
+			line := Line(tool)
+			if !strings.HasPrefix(line, tool+" ") {
+				t.Errorf("Line(%q) = %q, want prefix %q", tool, line, tool+" ")
+			}
+			if strings.ContainsRune(line, '\n') {
+				t.Errorf("Line(%q) = %q, want a single line", tool, line)
+			}
+			if !strings.Contains(line, "(go") {
+				t.Errorf("Line(%q) = %q, want embedded Go toolchain version", tool, line)
+			}
+			rest := strings.TrimPrefix(line, tool+" ")
+			if ver, _, ok := strings.Cut(rest, " ("); !ok || ver == "" {
+				t.Errorf("Line(%q) = %q, want a non-empty version field", tool, line)
+			}
+		})
+	}
+}

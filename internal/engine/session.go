@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"context"
 	"sync"
 )
@@ -9,12 +10,50 @@ import (
 // for byte-identical sources, so ablation sweeps, benchmark loops, and
 // verify-then-emit flows pay for the frontend exactly once per distinct
 // input. Sessions are safe for concurrent use.
+//
+// The cache is production-grade for long-running services (cmd/deadmemd):
+//
+//   - concurrent Compile calls for the same fingerprint are deduplicated
+//     (singleflight): one caller runs the frontend, the rest wait and
+//     share its artifact;
+//   - the cache is an LRU bounded by Limits — total retained source bytes
+//     and entry count — with least-recently-used entries evicted on
+//     insert (the default zero Limits keep it unbounded, the original
+//     batch behaviour).
 type Session struct {
-	cfg Config
+	cfg    Config
+	limits Limits
 
-	mu    sync.Mutex
-	cache map[string]*Compilation
-	stats Stats
+	mu       sync.Mutex
+	entries  map[string]*list.Element // fingerprint → *cacheEntry element
+	lru      *list.List               // front = most recently used
+	bytes    int64                    // sum of cached entries' source bytes
+	inflight map[string]*inflightCompile
+	stats    Stats
+}
+
+// Limits bounds the session cache. Zero fields mean "unlimited".
+type Limits struct {
+	// MaxBytes caps the total source bytes retained by cached
+	// compilations (an entry's cost is the sum of its source names and
+	// texts — the recompile input the cache exists to avoid re-reading).
+	// A single input larger than MaxBytes is compiled but never cached.
+	MaxBytes int64
+	// MaxEntries caps the number of cached compilations.
+	MaxEntries int
+}
+
+type cacheEntry struct {
+	key   string
+	comp  *Compilation
+	bytes int64
+}
+
+// inflightCompile is a singleflight slot: the leader closes done after
+// storing its result in comp.
+type inflightCompile struct {
+	done chan struct{}
+	comp *Compilation
 }
 
 // Stats counts session activity, and accumulates stage timings of the
@@ -22,15 +61,33 @@ type Session struct {
 type Stats struct {
 	// Compiles is the number of frontend compiles performed (cache misses).
 	Compiles int
-	// Hits is the number of Compile calls served from the cache.
+	// Hits is the number of Compile calls served from the cache or from a
+	// deduplicated in-flight compile.
 	Hits int
+	// Evictions is the number of entries dropped to enforce Limits.
+	Evictions int
+	// Entries and Bytes are point-in-time gauges of the cache contents.
+	Entries int
+	Bytes   int64
 	// Frontend accumulates Parse+Sema timings over all performed compiles.
 	Frontend Timings
 }
 
-// NewSession returns an empty session compiling under cfg.
+// NewSession returns an empty unbounded session compiling under cfg.
 func NewSession(cfg Config) *Session {
-	return &Session{cfg: cfg, cache: map[string]*Compilation{}}
+	return NewBoundedSession(cfg, Limits{})
+}
+
+// NewBoundedSession returns an empty session compiling under cfg whose
+// cache is bounded by limits.
+func NewBoundedSession(cfg Config, limits Limits) *Session {
+	return &Session{
+		cfg:      cfg,
+		limits:   limits,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*inflightCompile{},
+	}
 }
 
 // Compile returns the cached Compilation for sources, running the
@@ -43,41 +100,111 @@ func (s *Session) Compile(sources ...Source) *Compilation {
 // CompileContext is Compile under a context. Compiles that were cancelled
 // or degraded by a contained panic are returned to the caller but never
 // cached: the next request for the same content gets a fresh attempt
-// instead of a poisoned artifact.
+// instead of a poisoned artifact. Concurrent calls for the same content
+// share one frontend run; a waiter whose own context is cancelled stops
+// waiting and returns a cancelled artifact of its own.
 func (s *Session) CompileContext(ctx context.Context, sources ...Source) *Compilation {
 	key := fingerprint(sources)
-	s.mu.Lock()
-	if c, ok := s.cache[key]; ok && !c.Consumed() {
-		s.stats.Hits++
+	for {
+		s.mu.Lock()
+		if el, ok := s.entries[key]; ok {
+			e := el.Value.(*cacheEntry)
+			if e.comp.Consumed() {
+				s.removeLocked(el)
+			} else {
+				s.stats.Hits++
+				s.lru.MoveToFront(el)
+				s.mu.Unlock()
+				return e.comp
+			}
+		}
+		if fl, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+				c := fl.comp
+				if c.CancelErr() == nil && !c.Degraded() && !c.Consumed() {
+					s.mu.Lock()
+					s.stats.Hits++
+					s.mu.Unlock()
+					return c
+				}
+				continue // leader's artifact unusable; retry (maybe lead)
+			case <-ctx.Done():
+				// Abandon the wait: hand this caller its own well-formed
+				// cancelled artifact (cheap — every stage checks ctx first).
+				return CompileContext(ctx, s.cfg, sources...)
+			}
+		}
+		fl := &inflightCompile{done: make(chan struct{})}
+		s.inflight[key] = fl
 		s.mu.Unlock()
+
+		// Compile outside the lock: a slow frontend must not serialize
+		// unrelated cache hits.
+		c := CompileContext(ctx, s.cfg, sources...)
+
+		s.mu.Lock()
+		s.stats.Compiles++
+		s.stats.Frontend.Add(c.Timings())
+		delete(s.inflight, key)
+		if c.CancelErr() == nil && !c.Degraded() {
+			s.insertLocked(key, c)
+		}
+		s.mu.Unlock()
+		fl.comp = c
+		close(fl.done)
 		return c
 	}
-	s.mu.Unlock()
+}
 
-	// Compile outside the lock: a slow frontend must not serialize
-	// unrelated cache hits. A concurrent miss on the same key wastes one
-	// compile but both callers get a valid artifact.
-	c := CompileContext(ctx, s.cfg, sources...)
+// insertLocked caches c under key and evicts from the LRU tail until the
+// limits hold again. Entries that could never fit are not cached at all.
+func (s *Session) insertLocked(key string, c *Compilation) {
+	if el, ok := s.entries[key]; ok {
+		s.removeLocked(el)
+	}
+	b := sourceBytes(c.Sources)
+	if s.limits.MaxBytes > 0 && b > s.limits.MaxBytes {
+		return
+	}
+	el := s.lru.PushFront(&cacheEntry{key: key, comp: c, bytes: b})
+	s.entries[key] = el
+	s.bytes += b
+	for (s.limits.MaxEntries > 0 && s.lru.Len() > s.limits.MaxEntries) ||
+		(s.limits.MaxBytes > 0 && s.bytes > s.limits.MaxBytes) {
+		back := s.lru.Back()
+		if back == nil || back == el {
+			break
+		}
+		s.removeLocked(back)
+		s.stats.Evictions++
+	}
+}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Compiles++
-	s.stats.Frontend.Add(c.Timings())
-	if c.CancelErr() != nil || c.Degraded() {
-		return c // usable by this caller, but not cache-worthy
-	}
-	if prev, ok := s.cache[key]; ok && !prev.Consumed() {
-		// Lost the race; count our work but hand back the cached artifact
-		// so callers share call-graph caches too.
-		return prev
-	}
-	s.cache[key] = c
-	return c
+// removeLocked drops one cache element and its byte accounting.
+func (s *Session) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	s.lru.Remove(el)
+	delete(s.entries, e.key)
+	s.bytes -= e.bytes
 }
 
 // Stats returns a snapshot of the session counters.
 func (s *Session) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.Entries = s.lru.Len()
+	st.Bytes = s.bytes
+	return st
+}
+
+// sourceBytes is the byte cost a cached compilation is accounted at.
+func sourceBytes(sources []Source) int64 {
+	var n int64
+	for _, s := range sources {
+		n += int64(len(s.Name)) + int64(len(s.Text))
+	}
+	return n
 }

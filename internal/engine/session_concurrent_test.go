@@ -1,0 +1,178 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"deadmembers/internal/engine"
+)
+
+// program returns a small but non-trivial MC++ source whose class name is
+// salted by n, so distinct n produce distinct fingerprints.
+func program(n int) engine.Source {
+	text := fmt.Sprintf(`
+class C%d {
+public:
+	int used;
+	int unused;
+	C%d() : used(%d), unused(0) {}
+};
+int main() {
+	C%d c;
+	return c.used;
+}
+`, n, n, n, n)
+	return engine.Source{Name: fmt.Sprintf("p%d.mcc", n), Text: text}
+}
+
+// TestSessionConcurrentCompile hammers one session from many goroutines
+// with a mix of identical and distinct inputs and asserts the compile
+// counter shows exactly one frontend run per distinct fingerprint: the
+// cache absorbs repeats and singleflight absorbs concurrent misses. Run
+// with -race this also exercises the locking of the LRU and inflight maps.
+func TestSessionConcurrentCompile(t *testing.T) {
+	const (
+		distinct   = 4
+		goroutines = 64
+		rounds     = 8
+	)
+	s := engine.NewSession(engine.Config{Workers: 1})
+
+	// Pin every goroutine to the same start line so the very first round
+	// races identical fingerprints through the singleflight path.
+	start := make(chan struct{})
+	comps := make([][]*engine.Compilation, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				src := program((g + r) % distinct)
+				c := s.Compile(src)
+				if err := c.Err(); err != nil {
+					t.Errorf("goroutine %d round %d: %v", g, r, err)
+					return
+				}
+				comps[g] = append(comps[g], c)
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Compiles != distinct {
+		t.Errorf("Compiles = %d, want %d (duplicate frontend runs for identical inputs)", st.Compiles, distinct)
+	}
+	if want := goroutines*rounds - distinct; st.Hits != want {
+		t.Errorf("Hits = %d, want %d", st.Hits, want)
+	}
+	if st.Entries != distinct {
+		t.Errorf("Entries = %d, want %d", st.Entries, distinct)
+	}
+
+	// Identical fingerprints must share one artifact (pointer-identical),
+	// so call-graph caches are shared too.
+	byKey := map[string]*engine.Compilation{}
+	for _, list := range comps {
+		for _, c := range list {
+			if prev, ok := byKey[c.Fingerprint]; ok && prev != c {
+				t.Fatalf("two distinct Compilations for fingerprint %s", c.Fingerprint)
+			}
+			byKey[c.Fingerprint] = c
+		}
+	}
+}
+
+// TestSessionBoundedEviction checks the LRU byte bound: inserting past
+// MaxEntries evicts the least-recently-used entry and the byte gauge
+// tracks the retained sources.
+func TestSessionBoundedEviction(t *testing.T) {
+	s := engine.NewBoundedSession(engine.Config{Workers: 1}, engine.Limits{MaxEntries: 2})
+	a, b, c := program(0), program(1), program(2)
+
+	s.Compile(a)
+	s.Compile(b)
+	s.Compile(a) // touch a: b becomes the LRU victim
+	s.Compile(c) // evicts b
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("after overflow: Evictions=%d Entries=%d, want 1, 2", st.Evictions, st.Entries)
+	}
+	s.Compile(a)
+	if st := s.Stats(); st.Compiles != 3 {
+		t.Errorf("a should still be cached: Compiles=%d, want 3", st.Compiles)
+	}
+	s.Compile(b)
+	if st := s.Stats(); st.Compiles != 4 {
+		t.Errorf("b should have been evicted: Compiles=%d, want 4", st.Compiles)
+	}
+
+	wantBytes := sourcesCost(a) + sourcesCost(b)
+	if st := s.Stats(); st.Bytes != wantBytes {
+		t.Errorf("Bytes=%d, want %d", st.Bytes, wantBytes)
+	}
+}
+
+// TestSessionByteBound checks MaxBytes-driven eviction and the
+// never-cacheable oversized path.
+func TestSessionByteBound(t *testing.T) {
+	a, b := program(0), program(1)
+	s := engine.NewBoundedSession(engine.Config{Workers: 1},
+		engine.Limits{MaxBytes: sourcesCost(a) + sourcesCost(b) - 1})
+	s.Compile(a)
+	s.Compile(b) // pushes total past MaxBytes → a evicted
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 1 || st.Bytes != sourcesCost(b) {
+		t.Fatalf("Evictions=%d Entries=%d Bytes=%d, want 1, 1, %d",
+			st.Evictions, st.Entries, st.Bytes, sourcesCost(b))
+	}
+
+	tiny := engine.NewBoundedSession(engine.Config{Workers: 1}, engine.Limits{MaxBytes: 1})
+	tiny.Compile(a)
+	tiny.Compile(a) // oversized entries are never cached: second call recompiles
+	if st := tiny.Stats(); st.Compiles != 2 || st.Entries != 0 {
+		t.Errorf("oversized input: Compiles=%d Entries=%d, want 2, 0", st.Compiles, st.Entries)
+	}
+}
+
+// TestSessionWaiterCancellation: a waiter whose context dies while the
+// leader compiles gets its own cancelled artifact instead of blocking.
+func TestSessionWaiterCancellation(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	s := engine.NewSession(engine.Config{
+		Workers: 1,
+		ParseFault: func(string) {
+			once.Do(func() { <-gate }) // block only the leader's compile
+		},
+	})
+	src := program(7)
+
+	leaderDone := make(chan *engine.Compilation)
+	go func() { leaderDone <- s.Compile(src) }()
+
+	// Wait until the leader is inside the frontend, then join as a waiter
+	// with an already-doomed context.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	waiter := s.CompileContext(ctx, src)
+	if waiter.CancelErr() == nil {
+		t.Errorf("cancelled waiter should report CancelErr, got nil")
+	}
+
+	close(gate)
+	leader := <-leaderDone
+	if err := leader.Err(); err != nil {
+		t.Errorf("leader compile failed: %v", err)
+	}
+}
+
+func sourcesCost(s engine.Source) int64 {
+	return int64(len(s.Name)) + int64(len(s.Text))
+}

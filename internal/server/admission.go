@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errBusy is returned by admission.acquire when the service is saturated:
+// every execution slot is busy and the wait queue is full. Handlers map
+// it to 429 Too Many Requests with a Retry-After header.
+var errBusy = errors.New("server busy: all slots in use and queue full")
+
+// admission is a semaphore-based admission controller: at most
+// maxInflight requests execute concurrently, at most maxQueue more wait
+// for a slot, and everything beyond that is rejected immediately — the
+// server sheds load instead of accumulating unbounded goroutines under a
+// traffic spike.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int32
+	queued   atomic.Int32
+}
+
+func newAdmission(maxInflight, maxQueue int) *admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: int32(maxQueue),
+	}
+}
+
+// acquire takes an execution slot, waiting in the bounded queue when all
+// slots are busy. It returns errBusy when the queue is full and the
+// context's error when the caller gives up (client disconnect, deadline).
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return errBusy
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot; it must pair with a nil acquire.
+func (a *admission) release() { <-a.slots }
+
+// inflight is the number of slots currently held.
+func (a *admission) inflight() int { return len(a.slots) }
+
+// queueLen is the number of requests waiting for a slot.
+func (a *admission) queueLen() int { return int(a.queued.Load()) }

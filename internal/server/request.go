@@ -1,0 +1,244 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"deadmembers/internal/callgraph"
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/engine"
+)
+
+// httpError is a handler failure carrying the status code to report.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...interface{}) *httpError {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+// bundle is a decoded request: the source files plus the option set,
+// mirroring the corresponding CLI's flags one for one so a bundle and a
+// command line describe the same run.
+type bundle struct {
+	sources []engine.Source
+	opts    deadmember.Options
+
+	// analyze sections (deadmem -v / -classes / -unreachable)
+	verbose     bool
+	classes     bool
+	unreachable bool
+
+	// lint (deadlint -format / -budget)
+	format string
+	budget int
+
+	// strip (deadstrip -keep-unreachable)
+	keepUnreachable bool
+}
+
+// jsonRequest is the POST body of the JSON transport.
+type jsonRequest struct {
+	Sources []jsonSource `json:"sources"`
+	Options jsonOptions  `json:"options"`
+
+	Verbose         bool   `json:"verbose,omitempty"`
+	Classes         bool   `json:"classes,omitempty"`
+	Unreachable     bool   `json:"unreachable,omitempty"`
+	Format          string `json:"format,omitempty"`
+	Budget          int    `json:"budget,omitempty"`
+	KeepUnreachable bool   `json:"keep_unreachable,omitempty"`
+}
+
+type jsonSource struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+type jsonOptions struct {
+	CallGraph      string   `json:"callgraph,omitempty"`
+	Sizeof         string   `json:"sizeof,omitempty"`
+	NoDeleteRule   bool     `json:"no_delete_rule,omitempty"`
+	TrustDowncasts bool     `json:"trust_downcasts,omitempty"`
+	WritesAreUses  bool     `json:"writes_are_uses,omitempty"`
+	Library        []string `json:"library,omitempty"`
+}
+
+// parseRequest decodes a request in either transport:
+//
+//   - Content-Type application/json: a jsonRequest bundle (any number of
+//     files, full option set);
+//   - anything else: the raw body is one source file, named by the ?file=
+//     query parameter, with options passed as query parameters named after
+//     the CLI flags (callgraph, sizeof, no-delete-rule, trust-downcasts,
+//     writes-are-uses, library, v, classes, unreachable, format, budget,
+//     keep-unreachable).
+//
+// The caller must have wrapped r.Body in http.MaxBytesReader; an
+// over-limit body surfaces here as a 413.
+func parseRequest(r *http.Request) (*bundle, *httpError) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return nil, badRequest("reading body: %v", err)
+	}
+
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == "application/json" {
+		return parseJSONRequest(body)
+	}
+	return parseRawRequest(r, body)
+}
+
+func parseJSONRequest(body []byte) (*bundle, *httpError) {
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	var req jsonRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("invalid JSON body: %v", err)
+	}
+	if len(req.Sources) == 0 {
+		return nil, badRequest("no sources in request")
+	}
+	b := &bundle{
+		verbose:         req.Verbose,
+		classes:         req.Classes,
+		unreachable:     req.Unreachable,
+		budget:          req.Budget,
+		keepUnreachable: req.KeepUnreachable,
+	}
+	seen := map[string]bool{}
+	for i, s := range req.Sources {
+		if s.Name == "" {
+			return nil, badRequest("sources[%d]: missing name", i)
+		}
+		if seen[s.Name] {
+			return nil, badRequest("duplicate source name %q", s.Name)
+		}
+		seen[s.Name] = true
+		b.sources = append(b.sources, engine.Source{Name: s.Name, Text: s.Text})
+	}
+	var herr *httpError
+	if b.opts, herr = decodeOptions(req.Options); herr != nil {
+		return nil, herr
+	}
+	if b.format, herr = decodeFormat(req.Format); herr != nil {
+		return nil, herr
+	}
+	return b, nil
+}
+
+func parseRawRequest(r *http.Request, body []byte) (*bundle, *httpError) {
+	q := r.URL.Query()
+	name := q.Get("file")
+	if name == "" {
+		name = "input.mcc"
+	}
+	b := &bundle{
+		sources: []engine.Source{{Name: name, Text: string(body)}},
+	}
+	boolParam := func(key string) (bool, *httpError) {
+		v := q.Get(key)
+		if v == "" {
+			return false, nil
+		}
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return false, badRequest("invalid %s=%q", key, v)
+		}
+		return on, nil
+	}
+	var herr *httpError
+	opts := jsonOptions{
+		CallGraph: q.Get("callgraph"),
+		Sizeof:    q.Get("sizeof"),
+	}
+	if lib := q.Get("library"); lib != "" {
+		opts.Library = strings.Split(lib, ",")
+	}
+	for _, p := range []struct {
+		key  string
+		dest *bool
+	}{
+		{"no-delete-rule", &opts.NoDeleteRule},
+		{"trust-downcasts", &opts.TrustDowncasts},
+		{"writes-are-uses", &opts.WritesAreUses},
+		{"v", &b.verbose},
+		{"classes", &b.classes},
+		{"unreachable", &b.unreachable},
+		{"keep-unreachable", &b.keepUnreachable},
+	} {
+		if *p.dest, herr = boolParam(p.key); herr != nil {
+			return nil, herr
+		}
+	}
+	if v := q.Get("budget"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, badRequest("invalid budget=%q", v)
+		}
+		b.budget = n
+	}
+	if b.opts, herr = decodeOptions(opts); herr != nil {
+		return nil, herr
+	}
+	if b.format, herr = decodeFormat(q.Get("format")); herr != nil {
+		return nil, herr
+	}
+	return b, nil
+}
+
+// decodeOptions maps the wire option names (identical to the CLI flag
+// values) onto deadmember.Options, with the same defaults as the CLIs.
+func decodeOptions(o jsonOptions) (deadmember.Options, *httpError) {
+	opts := deadmember.Options{
+		NoDeleteSpecialCase: o.NoDeleteRule,
+		TrustDowncasts:      o.TrustDowncasts,
+		WritesAreUses:       o.WritesAreUses,
+		LibraryClasses:      o.Library,
+	}
+	switch strings.ToLower(o.CallGraph) {
+	case "", "rta":
+		opts.CallGraph = callgraph.RTA
+	case "cha":
+		opts.CallGraph = callgraph.CHA
+	case "all":
+		opts.CallGraph = callgraph.ALL
+	default:
+		return opts, badRequest("unknown callgraph %q", o.CallGraph)
+	}
+	switch strings.ToLower(o.Sizeof) {
+	case "", "ignore":
+		opts.Sizeof = deadmember.SizeofIgnore
+	case "conservative":
+		opts.Sizeof = deadmember.SizeofConservative
+	default:
+		return opts, badRequest("unknown sizeof %q", o.Sizeof)
+	}
+	return opts, nil
+}
+
+func decodeFormat(format string) (string, *httpError) {
+	switch format {
+	case "":
+		return "text", nil
+	case "text", "json", "sarif":
+		return format, nil
+	default:
+		return "", badRequest("unknown format %q", format)
+	}
+}

@@ -1,0 +1,85 @@
+// Package textreport renders the dead-data-member report in the exact
+// format cmd/deadmem prints to stdout. It exists so every transport over
+// the analysis — the batch CLI and the deadmemd HTTP server — produces
+// byte-identical output from one renderer instead of two drifting copies.
+package textreport
+
+import (
+	"fmt"
+	"io"
+
+	"deadmembers/internal/deadmember"
+)
+
+// Options selects the optional report sections (each mirrors a deadmem
+// CLI flag).
+type Options struct {
+	// Verbose also lists live members with the reason they are live (-v).
+	Verbose bool
+	// PerClass prints the per-class breakdown (-classes).
+	PerClass bool
+	// Unreachable lists unreachable functions (-unreachable).
+	Unreachable bool
+	// Degraded appends the RESULT DEGRADED marker line; callers pass
+	// compilation-degraded || analysis-degraded.
+	Degraded bool
+}
+
+// Write renders the report for res to w.
+func Write(w io.Writer, res *deadmember.Result, opts Options) error {
+	dead := res.DeadMembers()
+	if len(dead) == 0 {
+		fmt.Fprintln(w, "no dead data members found")
+	} else {
+		fmt.Fprintf(w, "%d dead data member(s):\n", len(dead))
+		for _, f := range dead {
+			loc := res.Program.FileSet.Position(f.Pos)
+			fmt.Fprintf(w, "  %-40s declared at %s\n", f.QualifiedName(), loc)
+		}
+	}
+
+	if opts.Verbose {
+		fmt.Fprintln(w, "\nlive members:")
+		for _, c := range res.Program.Classes {
+			if res.IsLibraryClass(c) || !res.Used[c] {
+				continue
+			}
+			for _, f := range c.Fields {
+				if m := res.MarkOf(f); m.Live {
+					fmt.Fprintf(w, "  %-40s %s\n", f.QualifiedName(), m.Reason)
+				}
+			}
+		}
+	}
+
+	if opts.PerClass {
+		fmt.Fprintln(w, "\nper-class breakdown:")
+		for _, row := range res.PerClass() {
+			status := ""
+			if !row.Used {
+				status = " (unused class)"
+			}
+			if row.Library {
+				status = " (library class)"
+			}
+			fmt.Fprintf(w, "  %-24s %2d/%2d dead (%5.1f%%)%s\n",
+				row.Class.Name, row.Dead, row.Members, row.DeadPercent(), status)
+		}
+	}
+
+	if opts.Unreachable {
+		fns := res.UnreachableFunctions()
+		fmt.Fprintf(w, "\n%d unreachable function(s):\n", len(fns))
+		for _, f := range fns {
+			fmt.Fprintf(w, "  %s\n", f.QualifiedName())
+		}
+	}
+
+	s := res.Stats()
+	_, err := fmt.Fprintf(w, "\n%d classes (%d used), %d data members in used classes, %d dead (%.1f%%)\n",
+		s.Classes, s.UsedClasses, s.Members, s.DeadMembers, s.DeadPercent())
+	if opts.Degraded {
+		_, err = fmt.Fprintln(w, "RESULT DEGRADED: a pipeline stage crashed and was contained; see stderr")
+	}
+	return err
+}
