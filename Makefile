@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race race-server bench fuzz serve smoke-server ci
+.PHONY: build vet lint test race race-server bench fuzz serve smoke-server smoke-restart chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,18 @@ serve:
 smoke-server:
 	sh scripts/smoke_server.sh
 
+# Warm-restart smoke: persist an artifact, SIGKILL the daemon, restart
+# over the same -persist-dir, and verify the response is served from
+# disk byte-identically with zero recompiles.
+smoke-restart:
+	sh scripts/smoke_restart.sh
+
+# Chaos soak under the race detector: faulty disk + faulty network,
+# abrupt in-test restart, byte-identity and zero-served-corruption
+# asserted throughout (see internal/server/chaos_soak_test.go).
+chaos-smoke:
+	$(GO) test -race -run TestChaosSoak -v ./internal/server/
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -53,4 +65,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzCFG -fuzztime=$(FUZZTIME) .
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build vet race race-server lint smoke-server
+ci: build vet race race-server lint smoke-server smoke-restart chaos-smoke

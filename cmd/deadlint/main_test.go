@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
+
+	"deadmembers/internal/server"
 )
 
 func examples(t *testing.T) []string {
@@ -171,5 +174,32 @@ func TestBudgetDegradesExitCode(t *testing.T) {
 	}
 	if !strings.Contains(errw, "RESULT DEGRADED") {
 		t.Errorf("missing degraded banner:\n%s", errw)
+	}
+}
+
+// TestServerModeMatchesLocal: -server routes the lint through deadmemd
+// and the stdout must be byte-identical to a local run, per format.
+func TestServerModeMatchesLocal(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "mcc", "overwrite.mcc")
+	srv, err := server.New(server.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, format := range []string{"text", "json", "sarif"} {
+		localCode, local, localErr := runCLI(t, "-format", format, path)
+		if localCode != 0 {
+			t.Fatalf("%s local: exit %d, stderr: %s", format, localCode, localErr)
+		}
+		remoteCode, remote, remoteErr := runCLI(t, "-format", format, "-server", ts.URL, path)
+		if remoteCode != 0 {
+			t.Fatalf("%s remote: exit %d, stderr: %s", format, remoteCode, remoteErr)
+		}
+		if remote != local {
+			t.Errorf("%s: remote output diverges from local:\n--- remote ---\n%s--- local ---\n%s",
+				format, remote, local)
+		}
 	}
 }

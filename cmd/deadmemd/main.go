@@ -56,6 +56,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		requestTimeout  = fs.Duration("request-timeout", 60*time.Second, "per-request analysis deadline (negative = none)")
 		maxRequestBytes = fs.Int64("max-request-bytes", 64<<20, "request body size limit")
 		drainTimeout    = fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+		lameDuck        = fs.Duration("lame-duck", 0, "window after SIGTERM during which the listener stays up but refuses new work with 503 (0 = close immediately)")
+		persistDir      = fs.String("persist-dir", "", "directory for the on-disk artifact store (empty = persistence off)")
+		persistMaxBytes = fs.Int64("persist-max-bytes", 1<<30, "on-disk artifact store bound; least-recently-used records are evicted past it")
+		retryAfter      = fs.Duration("retry-after", 0, "fixed Retry-After hint for 429 responses (0 = adaptive, from queue depth and recent service time)")
+		chaosRate       = fs.Float64("chaos-rate", 0, "fault-injection probability per injection point, 0..1 (0 = chaos off; never enable in production)")
+		chaosSeed       = fs.Int64("chaos-seed", 1, "deterministic seed for the chaos injector")
+		chaosLatency    = fs.Duration("chaos-latency", 50*time.Millisecond, "added latency when the chaos layer injects a delay")
 		showVersion     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 2
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:         *parallel,
 		CacheMaxBytes:   *cacheMaxBytes,
 		CacheMaxEntries: *cacheMaxEntries,
@@ -79,7 +86,20 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		MaxQueue:        *maxQueue,
 		RequestTimeout:  *requestTimeout,
 		MaxRequestBytes: *maxRequestBytes,
+		PersistDir:      *persistDir,
+		PersistMaxBytes: *persistMaxBytes,
+		RetryAfter:      *retryAfter,
+		ChaosRate:       *chaosRate,
+		ChaosSeed:       *chaosSeed,
+		ChaosLatency:    *chaosLatency,
 	})
+	if err != nil {
+		fmt.Fprintf(stderr, "deadmemd: %v\n", err)
+		return 1
+	}
+	if *chaosRate > 0 {
+		fmt.Fprintf(stderr, "deadmemd: CHAOS MODE: injecting faults at rate %g (seed %d)\n", *chaosRate, *chaosSeed)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -103,9 +123,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 
 	// Graceful drain: stop advertising readiness, refuse new analysis
-	// work, and give in-flight requests the grace period to finish.
-	fmt.Fprintf(stderr, "deadmemd: draining (up to %v)\n", *drainTimeout)
+	// work, and give in-flight requests the grace period to finish. The
+	// lame-duck window keeps the listener up (returning 503s) long enough
+	// for load balancers to observe the failed readiness probe before
+	// connections start being refused outright.
+	fmt.Fprintf(stderr, "deadmemd: draining (lame-duck %v, grace %v)\n", *lameDuck, *drainTimeout)
 	srv.StartDrain()
+	if *lameDuck > 0 {
+		time.Sleep(*lameDuck)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,0 +1,126 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// breaker is a consecutive-failure circuit breaker with a half-open
+// recovery probe:
+//
+//	closed ──(threshold consecutive failures)──▶ open
+//	open ──(cooldown elapses)──▶ half-open (ONE probe allowed)
+//	half-open probe success ──▶ closed; probe failure ──▶ open again
+//
+// While open, allow returns ErrCircuitOpen immediately — a dead server
+// costs nothing per call instead of a connect timeout. A negative
+// threshold disables the breaker entirely.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may proceed, transitioning
+// open → half-open once the cooldown has elapsed.
+func (b *breaker) allow() error {
+	if b.threshold < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return nil
+	case stateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrCircuitOpen // one probe at a time
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// success records a healthy server response and closes the circuit.
+func (b *breaker) success() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records a transport failure: a failed half-open probe re-opens
+// the circuit and restarts the cooldown; in closed state the consecutive
+// counter advances toward the threshold.
+func (b *breaker) failure() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.state = stateOpen
+		b.openedAt = b.now()
+		b.probing = false
+		return
+	}
+	b.fails++
+	if b.state == stateClosed && b.fails >= b.threshold {
+		b.state = stateOpen
+		b.openedAt = b.now()
+	}
+}
+
+// clock abstracts time for deterministic tests.
+type clock interface {
+	Now() time.Time
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -510,6 +510,11 @@ func (c *Compilation) Consumed() bool {
 	return c.consumed
 }
 
+// Fingerprint returns the content hash that keys the session cache (and
+// the server's persistent artifact store) for sources, without
+// compiling them.
+func Fingerprint(sources ...Source) string { return fingerprint(sources) }
+
 // fingerprint hashes the source names and texts (length-prefixed, so
 // concatenation ambiguities cannot collide) into a stable hex key.
 func fingerprint(sources []Source) string {

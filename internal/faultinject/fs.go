@@ -1,0 +1,67 @@
+package faultinject
+
+import (
+	"fmt"
+	"syscall"
+
+	"deadmembers/internal/persist"
+)
+
+// FS wraps inner with fault injection on the operations whose failure
+// modes the persist layer must survive:
+//
+//   - ReadFile may fail with EIO (a dying disk);
+//   - WriteFile may fail with ENOSPC before writing, or perform a SHORT
+//     WRITE — half the bytes land on disk and an error is returned;
+//   - Rename may be TORN — the destination appears, but with truncated
+//     content, and no error is reported (the cruelest crash mode: the
+//     caller believes the publish succeeded).
+//
+// Directory operations (MkdirAll, Remove, ReadDir) pass through so the
+// store can always bootstrap and clean up; the interesting faults are
+// the ones that corrupt or lose record data.
+func FS(inner persist.FS, in *Injector) persist.FS {
+	return &faultFS{inner: inner, in: in}
+}
+
+type faultFS struct {
+	inner persist.FS
+	in    *Injector
+}
+
+func (f *faultFS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+func (f *faultFS) ReadFile(path string) ([]byte, error) {
+	if f.in.Fault(KindReadEIO) {
+		return nil, fmt.Errorf("faultinject: read %s: %w", path, syscall.EIO)
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *faultFS) WriteFile(path string, data []byte) error {
+	if f.in.Fault(KindWriteENOSPC) {
+		return fmt.Errorf("faultinject: write %s: %w", path, syscall.ENOSPC)
+	}
+	if f.in.Fault(KindWriteShort) {
+		// The real bytes that made it to disk before the "crash".
+		f.inner.WriteFile(path, data[:len(data)/2])
+		return fmt.Errorf("faultinject: short write %s: %d of %d bytes", path, len(data)/2, len(data))
+	}
+	return f.inner.WriteFile(path, data)
+}
+
+func (f *faultFS) Rename(oldPath, newPath string) error {
+	if f.in.Fault(KindRenameTorn) {
+		// Tear the payload, then "succeed": the destination holds a
+		// truncated record under a valid name. Only the per-record
+		// checksum can catch this.
+		if data, err := f.inner.ReadFile(oldPath); err == nil && len(data) > 0 {
+			f.inner.WriteFile(oldPath, data[:len(data)/2])
+		}
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *faultFS) Remove(path string) error { return f.inner.Remove(path) }
+
+func (f *faultFS) ReadDir(dir string) ([]persist.FileInfo, error) { return f.inner.ReadDir(dir) }

@@ -1,0 +1,47 @@
+package faultinject
+
+import (
+	"net/http"
+	"time"
+)
+
+// Handler wraps next with network chaos, applied before the real
+// handler runs (an injected fault never leaves partial server-side
+// state — the request simply fails and the client must retry):
+//
+//   - latency: the response is delayed by latency (bounded by the
+//     request context, so drains and client disconnects still work);
+//   - 503: the request is refused with 503 and a Retry-After hint,
+//     indistinguishable from real overload;
+//   - drop: the connection is severed with no response at all — the
+//     client sees EOF/RST, the failure mode of a crashing server.
+//
+// Each fault site rolls independently at the injector's rate, so a
+// single request can be delayed AND dropped, like real networks.
+func Handler(in *Injector, latency time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if latency > 0 && in.Fault(KindHTTPLatency) {
+			select {
+			case <-time.After(latency):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if in.Fault(KindHTTPDrop) {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			// No hijacking (e.g. HTTP/2): abort mid-response instead.
+			panic(http.ErrAbortHandler)
+		}
+		if in.Fault(KindHTTP503) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "chaos: injected unavailability", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,92 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// FileInfo is the subset of os.FileInfo the store's boot-time index
+// rebuild needs.
+type FileInfo struct {
+	Name    string
+	Size    int64
+	ModTime time.Time
+}
+
+// FS is the filesystem surface the store runs on. The production
+// implementation is OSFS; internal/faultinject wraps any FS with
+// deterministic fault injection (EIO reads, ENOSPC, short writes, torn
+// renames) so the store's corruption handling is testable without real
+// disk faults.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile creates or truncates path with data and syncs it to
+	// stable storage before returning.
+	WriteFile(path string, data []byte) error
+	// Rename atomically moves oldPath to newPath (same filesystem).
+	Rename(oldPath, newPath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// ReadDir lists the plain files in dir (missing dir = empty list).
+	ReadDir(dir string) ([]FileInfo, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// WriteFile writes data and fsyncs before closing: paired with Rename,
+// a record is durable-then-visible, never visible-then-maybe-durable.
+func (OSFS) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) ReadDir(dir string) ([]FileInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var infos []FileInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue // raced with a delete; skip
+		}
+		infos = append(infos, FileInfo{Name: e.Name(), Size: fi.Size(), ModTime: fi.ModTime()})
+	}
+	return infos, nil
+}
+
+var _ FS = OSFS{}
+
+// join is filepath.Join, aliased so store.go reads cleanly.
+func join(parts ...string) string { return filepath.Join(parts...) }

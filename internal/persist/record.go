@@ -1,0 +1,148 @@
+// Package persist is the disk tier of deadmemd's caching: a
+// content-addressed store of rendered analysis artifacts that survives
+// process death. The in-memory engine session (L1) holds compilations;
+// this store (L2) holds finished response bodies keyed by a hash of the
+// compilation fingerprint plus the rendering options, so a restarted
+// daemon answers previously-seen requests from disk without recompiling.
+//
+// Durability rules:
+//
+//   - writes are atomic: a record is fully written (and synced) to a
+//     temp file, then renamed into place — a crash never leaves a
+//     half-written record under a valid name;
+//   - every record carries a version, its own key, and a SHA-256
+//     checksum over the entire payload; corruption of any kind (torn
+//     rename, bit rot, truncation, a stray file) is detected on read,
+//     the record is quarantined, and the caller recompiles — corrupt
+//     bytes are never served and never crash the daemon;
+//   - the on-disk footprint is LRU-bounded by total bytes, with the
+//     index rebuilt from a directory scan on boot (newest-first), so a
+//     restart is warm within one scan.
+//
+// All filesystem access goes through the FS interface so fault-injection
+// tests (internal/faultinject) can exercise short writes, ENOSPC, EIO,
+// and torn renames deterministically.
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Record format v1, little-endian, checksummed:
+//
+//	magic   [4]byte  "DMP1"
+//	version uint32   (1)
+//	keyLen  uint32   | key bytes
+//	ctLen   uint32   | content-type bytes
+//	bodyLen uint64   | body bytes
+//	sum     [32]byte SHA-256 over everything before it
+const (
+	recordMagic   = "DMP1"
+	recordVersion = 1
+)
+
+// ErrCorrupt reports a record that failed structural or checksum
+// validation. Callers must treat it as a cache miss (quarantine and
+// recompute), never as fatal.
+var ErrCorrupt = errors.New("corrupt record")
+
+// Record is one persisted artifact: the rendered response body for a
+// given artifact key, plus the Content-Type it was served with.
+type Record struct {
+	Key         string
+	ContentType string
+	Body        []byte
+}
+
+// Encode renders the record in the versioned on-disk format.
+func (r *Record) Encode() []byte {
+	n := 4 + 4 + // magic, version
+		4 + len(r.Key) +
+		4 + len(r.ContentType) +
+		8 + len(r.Body) +
+		sha256.Size
+	buf := make([]byte, 0, n)
+	buf = append(buf, recordMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, recordVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Key)))
+	buf = append(buf, r.Key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.ContentType)))
+	buf = append(buf, r.ContentType...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(r.Body)))
+	buf = append(buf, r.Body...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// Decode parses and validates an encoded record. Any deviation — wrong
+// magic, unknown version, truncation, trailing bytes, or a checksum
+// mismatch — returns an error wrapping ErrCorrupt; Decode never panics
+// and never over-allocates from attacker-controlled length fields (all
+// lengths are bounds-checked against the buffer before use).
+func Decode(data []byte) (*Record, error) {
+	corrupt := func(format string, args ...interface{}) error {
+		return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+	if len(data) < 4+4+4+4+8+sha256.Size {
+		return nil, corrupt("short record (%d bytes)", len(data))
+	}
+	// Checksum first: it covers every structural field, so a record that
+	// passes is structurally exactly what was written.
+	payload, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	want := sha256.Sum256(payload)
+	if !bytes.Equal(sum, want[:]) {
+		return nil, corrupt("checksum mismatch")
+	}
+	rest := payload
+	if string(rest[:4]) != recordMagic {
+		return nil, corrupt("bad magic %q", rest[:4])
+	}
+	rest = rest[4:]
+	if v := binary.LittleEndian.Uint32(rest); v != recordVersion {
+		return nil, corrupt("unknown version %d", v)
+	}
+	rest = rest[4:]
+
+	takeN := func(n uint64, what string) ([]byte, error) {
+		if n > uint64(len(rest)) {
+			return nil, corrupt("%s length %d exceeds record", what, n)
+		}
+		b := rest[:n]
+		rest = rest[n:]
+		return b, nil
+	}
+	take32 := func(what string) ([]byte, error) {
+		if len(rest) < 4 {
+			return nil, corrupt("truncated %s length", what)
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		return takeN(uint64(n), what)
+	}
+
+	key, err := take32("key")
+	if err != nil {
+		return nil, err
+	}
+	ct, err := take32("content-type")
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 8 {
+		return nil, corrupt("truncated body length")
+	}
+	bodyLen := binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	body, err := takeN(bodyLen, "body")
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, corrupt("%d trailing bytes", len(rest))
+	}
+	return &Record{Key: string(key), ContentType: string(ct), Body: body}, nil
+}

@@ -1,0 +1,258 @@
+package persist
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store layout under the root directory:
+//
+//	objects/<key>.rec    live records (key = lowercase hex artifact hash)
+//	quarantine/<key>.bad records that failed validation on read
+//	tmp/                 in-progress writes (wiped on Open)
+const (
+	objectsDir    = "objects"
+	quarantineDir = "quarantine"
+	tmpDir        = "tmp"
+	recordSuffix  = ".rec"
+)
+
+// Options configures a Store.
+type Options struct {
+	// MaxBytes caps the total encoded bytes retained on disk; the
+	// least-recently-used records are evicted once it is exceeded.
+	// 0 means unlimited.
+	MaxBytes int64
+	// FS overrides the filesystem (nil = the real one). Fault-injection
+	// tests pass a faultinject-wrapped FS here.
+	FS FS
+}
+
+// Stats counts store activity since Open.
+type Stats struct {
+	// Hits is the number of Get calls served from a validated record.
+	Hits int64
+	// Misses is the number of Get calls with no usable record.
+	Misses int64
+	// Writes is the number of records durably persisted.
+	Writes int64
+	// WriteErrors counts failed persists (the artifact is simply not
+	// cached; the daemon carries on).
+	WriteErrors int64
+	// Corrupt counts records that failed validation on read and were
+	// quarantined (torn renames, bit flips, truncation, read errors).
+	Corrupt int64
+	// ServedCorrupt counts corrupt records returned to a caller. It is
+	// zero by construction — every Get re-validates the checksum — and
+	// exists so monitoring can assert the invariant.
+	ServedCorrupt int64
+	// Evictions counts records removed to enforce MaxBytes.
+	Evictions int64
+	// Entries and Bytes are point-in-time gauges of the live set.
+	Entries int
+	Bytes   int64
+}
+
+// Store is a crash-safe, content-addressed artifact store. All methods
+// are safe for concurrent use.
+type Store struct {
+	dir string
+	fs  FS
+	max int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // key → *storeEntry element
+	lru     *list.List               // front = most recently used
+	bytes   int64
+	stats   Stats
+}
+
+type storeEntry struct {
+	key   string
+	bytes int64
+}
+
+// Open initializes the directory layout under dir, clears stale temp
+// files from a previous crash, and rebuilds the LRU index from the
+// objects directory (ordered by modification time, newest most recent),
+// so a restarted daemon is warm after one directory scan.
+func Open(dir string, opts Options) (*Store, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	s := &Store{
+		dir:     dir,
+		fs:      fs,
+		max:     opts.MaxBytes,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+	for _, sub := range []string{objectsDir, quarantineDir, tmpDir} {
+		if err := fs.MkdirAll(join(dir, sub)); err != nil {
+			return nil, fmt.Errorf("persist: init %s: %w", sub, err)
+		}
+	}
+	// A crash mid-Put leaves temp files; they were never visible as
+	// records, so they are garbage.
+	if stale, err := fs.ReadDir(join(dir, tmpDir)); err == nil {
+		for _, fi := range stale {
+			fs.Remove(join(dir, tmpDir, fi.Name))
+		}
+	}
+	infos, err := fs.ReadDir(join(dir, objectsDir))
+	if err != nil {
+		return nil, fmt.Errorf("persist: scan objects: %w", err)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ModTime.Before(infos[j].ModTime) })
+	for _, fi := range infos {
+		key, ok := strings.CutSuffix(fi.Name, recordSuffix)
+		if !ok || !validKey(key) {
+			continue // not ours; leave it alone
+		}
+		// Oldest first, each pushed to the front: the newest record ends
+		// up most-recently-used. Validation stays lazy (on Get) so boot
+		// cost is one scan, not a full re-read.
+		el := s.lru.PushFront(&storeEntry{key: key, bytes: fi.Size})
+		s.entries[key] = el
+		s.bytes += fi.Size
+	}
+	return s, nil
+}
+
+// validKey reports whether key is safe to use as a filename: the
+// lowercase-hex artifact hashes the server produces, nothing else.
+func validKey(key string) bool {
+	if len(key) < 16 || len(key) > 128 {
+		return false
+	}
+	for _, c := range key {
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) objectPath(key string) string { return join(s.dir, objectsDir, key+recordSuffix) }
+
+// Get returns the validated record body and content type for key. A
+// record that fails validation — for any reason — is quarantined and
+// reported as a miss; the caller recomputes and re-Puts.
+func (s *Store) Get(key string) (body []byte, contentType string, ok bool) {
+	if !validKey(key) {
+		return nil, "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, found := s.entries[key]
+	if !found {
+		s.stats.Misses++
+		return nil, "", false
+	}
+	path := s.objectPath(key)
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		// Unreadable (disk fault, raced delete): drop it from the index
+		// and treat as corruption — the bytes cannot be trusted.
+		s.quarantineLocked(el, path)
+		s.stats.Misses++
+		return nil, "", false
+	}
+	rec, err := Decode(data)
+	if err != nil || rec.Key != key {
+		s.quarantineLocked(el, path)
+		s.stats.Misses++
+		return nil, "", false
+	}
+	s.stats.Hits++
+	s.lru.MoveToFront(el)
+	return rec.Body, rec.ContentType, true
+}
+
+// quarantineLocked removes a failed record from the index and moves the
+// file (if any) into quarantine/ for post-mortem instead of serving or
+// silently deleting it.
+func (s *Store) quarantineLocked(el *list.Element, path string) {
+	e := el.Value.(*storeEntry)
+	s.removeLocked(el)
+	s.stats.Corrupt++
+	if err := s.fs.Rename(path, join(s.dir, quarantineDir, e.key+".bad")); err != nil {
+		s.fs.Remove(path) // quarantine dir unusable; at least unlink it
+	}
+}
+
+// Put durably persists body under key (atomic temp-write + rename) and
+// evicts least-recently-used records until MaxBytes holds. Failures are
+// counted and returned but must be treated as non-fatal: the store is a
+// cache, and a failed write only costs a future recompute.
+func (s *Store) Put(key, contentType string, body []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("persist: invalid key %q", key)
+	}
+	data := (&Record{Key: key, ContentType: contentType, Body: body}).Encode()
+	n := int64(len(data))
+	if s.max > 0 && n > s.max {
+		return nil // could never fit; don't churn the whole cache for it
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := join(s.dir, tmpDir, key+recordSuffix)
+	if err := s.fs.WriteFile(tmp, data); err != nil {
+		s.stats.WriteErrors++
+		s.fs.Remove(tmp)
+		return fmt.Errorf("persist: write %s: %w", key, err)
+	}
+	if err := s.fs.Rename(tmp, s.objectPath(key)); err != nil {
+		s.stats.WriteErrors++
+		s.fs.Remove(tmp)
+		return fmt.Errorf("persist: publish %s: %w", key, err)
+	}
+	if el, ok := s.entries[key]; ok {
+		s.removeLocked(el) // replaced in place; re-account below
+	}
+	el := s.lru.PushFront(&storeEntry{key: key, bytes: n})
+	s.entries[key] = el
+	s.bytes += n
+	s.stats.Writes++
+	for s.max > 0 && s.bytes > s.max {
+		back := s.lru.Back()
+		if back == nil || back == el {
+			break
+		}
+		e := back.Value.(*storeEntry)
+		s.removeLocked(back)
+		s.fs.Remove(s.objectPath(e.key))
+		s.stats.Evictions++
+	}
+	return nil
+}
+
+// removeLocked drops one index element and its byte accounting (the
+// file itself is the caller's problem).
+func (s *Store) removeLocked(el *list.Element) {
+	e := el.Value.(*storeEntry)
+	s.lru.Remove(el)
+	delete(s.entries, e.key)
+	s.bytes -= e.bytes
+}
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.lru.Len()
+	st.Bytes = s.bytes
+	return st
+}

@@ -1,0 +1,253 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testKey(i int) string {
+	return fmt.Sprintf("%064d", i) // 64 decimal digits: valid lowercase hex
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := &Record{Key: testKey(1), ContentType: "text/plain; charset=utf-8", Body: []byte("dead members: 3\n")}
+	got, err := Decode(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != rec.Key || got.ContentType != rec.ContentType || !bytes.Equal(got.Body, rec.Body) {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, rec)
+	}
+	if _, err := Decode([]byte("not a record")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("garbage decode: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("nil decode: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRecordEveryBitFlipDetected(t *testing.T) {
+	enc := (&Record{Key: testKey(2), ContentType: "text/plain", Body: []byte("body bytes")}).Encode()
+	for pos := range enc {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), enc...)
+			mut[pos] ^= 1 << bit
+			if _, err := Decode(mut); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip byte %d bit %d: err = %v, want ErrCorrupt", pos, bit, err)
+			}
+		}
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(3)
+	if _, _, ok := s.Get(key); ok {
+		t.Fatal("Get on empty store returned ok")
+	}
+	if err := s.Put(key, "text/plain", []byte("artifact")); err != nil {
+		t.Fatal(err)
+	}
+	body, ct, ok := s.Get(key)
+	if !ok || string(body) != "artifact" || ct != "text/plain" {
+		t.Fatalf("Get = %q, %q, %v", body, ct, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStoreRebuildsIndexOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s1.Put(testKey(i), "text/plain", []byte(fmt.Sprintf("body %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: simulate process death, then a cold Open over the same dir.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 5 {
+		t.Fatalf("rebuilt index has %d entries, want 5", s2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		body, _, ok := s2.Get(testKey(i))
+		if !ok || string(body) != fmt.Sprintf("body %d", i) {
+			t.Fatalf("key %d after reopen: %q, %v", i, body, ok)
+		}
+	}
+	if st := s2.Stats(); st.Hits != 5 || st.Corrupt != 0 {
+		t.Errorf("stats after reopen = %+v", st)
+	}
+}
+
+func TestStoreQuarantinesCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(7)
+	if err := s.Put(key, "text/plain", []byte("precious artifact")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the record on disk behind the store's back.
+	path := filepath.Join(dir, objectsDir, key+recordSuffix)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, ok := s.Get(key); ok {
+		t.Fatal("corrupt record served")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.ServedCorrupt != 0 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 1 corrupt, 0 served, 0 entries", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, key+".bad")); err != nil {
+		t.Errorf("corrupt record not quarantined: %v", err)
+	}
+	// The slot is reusable: a fresh Put serves again.
+	if err := s.Put(key, "text/plain", []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	if body, _, ok := s.Get(key); !ok || string(body) != "recomputed" {
+		t.Fatalf("after recompute: %q, %v", body, ok)
+	}
+}
+
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"README", "UPPER" + recordSuffix, "zz.rec.bak"} {
+		if err := os.WriteFile(filepath.Join(dir, objectsDir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("indexed %d foreign files, want 0", s.Len())
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	recSize := int64(len((&Record{Key: testKey(0), ContentType: "t", Body: []byte("0123456789")}).Encode()))
+	s, err := Open(t.TempDir(), Options{MaxBytes: 3 * recSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testKey(i), "t", []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 0 so key 1 is the LRU victim.
+	if _, _, ok := s.Get(testKey(0)); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	if err := s.Put(testKey(3), "t", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get(testKey(1)); ok {
+		t.Error("LRU victim still present")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, _, ok := s.Get(testKey(i)); !ok {
+			t.Errorf("key %d evicted, want kept", i)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > 3*recSize {
+		t.Errorf("bytes = %d exceeds cap %d", st.Bytes, 3*recSize)
+	}
+}
+
+func TestStoreEvictionSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	recSize := int64(len((&Record{Key: testKey(0), ContentType: "t", Body: []byte("0123456789")}).Encode()))
+	s1, err := Open(dir, Options{MaxBytes: 2 * recSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s1.Put(testKey(i), "t", []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // distinct mtimes for the reopen ordering
+	}
+	s2, err := Open(dir, Options{MaxBytes: 2 * recSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened with %d entries, want 2 (evictions persisted)", s2.Len())
+	}
+	// The survivors must be the newest two.
+	for _, i := range []int{2, 3} {
+		if _, _, ok := s2.Get(testKey(i)); !ok {
+			t.Errorf("newest key %d missing after reopen", i)
+		}
+	}
+}
+
+func TestStoreCleansTempFilesOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, tmpDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, tmpDir, testKey(9)+recordSuffix)
+	if err := os.WriteFile(stale, []byte("half a record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived Open: %v", err)
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	for key, want := range map[string]bool{
+		strings.Repeat("ab12", 16): true,
+		testKey(4):                 true,
+		"":                         false,
+		"short":                    false,
+		"../../../../etc/passwd":   false,
+		strings.Repeat("G", 64):    false,
+		strings.Repeat("a", 129):   false,
+	} {
+		if got := validKey(key); got != want {
+			t.Errorf("validKey(%q) = %v, want %v", key, got, want)
+		}
+	}
+}

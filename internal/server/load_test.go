@@ -83,7 +83,10 @@ func TestConcurrentIdenticalRequestsCompileOnce(t *testing.T) {
 // request is shed with 429 + Retry-After while the slot is held.
 func TestAdmissionControlRejects(t *testing.T) {
 	gate := make(chan struct{})
-	s := New(Config{Workers: 1, MaxInflight: 1, MaxQueue: 2})
+	s, err := New(Config{Workers: 1, MaxInflight: 1, MaxQueue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Swap in a session whose compiles block on the gate, holding the
 	// execution slot so the queue fills deterministically.
 	s.sess = engine.NewBoundedSession(engine.Config{

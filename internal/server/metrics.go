@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"deadmembers/internal/persist"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-duration
@@ -24,7 +26,16 @@ type metrics struct {
 	latencies map[string]*histogram
 	degraded  int64
 	rejected  int64
+
+	// ewmaSecs tracks the recent average service time (exponentially
+	// weighted, α=0.2) across all endpoints; the adaptive Retry-After
+	// hint is derived from it.
+	ewmaSecs float64
+	ewmaInit bool
 }
+
+// ewmaAlpha weights the newest sample in the service-time average.
+const ewmaAlpha = 0.2
 
 type reqKey struct {
 	endpoint string
@@ -59,6 +70,19 @@ func (m *metrics) observe(endpoint string, code int, took time.Duration) {
 	h.counts[i]++
 	h.sum += secs
 	h.count++
+	if !m.ewmaInit {
+		m.ewmaSecs, m.ewmaInit = secs, true
+	} else {
+		m.ewmaSecs = ewmaAlpha*secs + (1-ewmaAlpha)*m.ewmaSecs
+	}
+}
+
+// avgServiceSeconds returns the recent average service time, or 0 when
+// no request has completed yet.
+func (m *metrics) avgServiceSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ewmaSecs
 }
 
 // markDegraded counts a response produced from a degraded compilation or
@@ -86,6 +110,11 @@ type gauges struct {
 	CacheBytes     int64
 	Inflight       int
 	Queued         int
+
+	// Persist is the artifact-store snapshot (nil = persistence off).
+	Persist *persist.Stats
+	// Chaos is the injected-fault count by kind (nil = chaos off).
+	Chaos map[string]int64
 }
 
 // writePrometheus renders the Prometheus text exposition format.
@@ -145,6 +174,32 @@ func (m *metrics) writePrometheus(w io.Writer, g gauges) {
 	gauge("deadmemd_queued", "Requests waiting for an execution slot.", int64(g.Queued))
 	counter("deadmemd_degraded_total", "Responses produced from degraded (panic-contained) runs.", m.degraded)
 	counter("deadmemd_rejected_total", "Requests shed by the admission controller (429).", m.rejected)
+
+	if g.Persist != nil {
+		p := g.Persist
+		counter("deadmemd_persist_hits_total", "Responses served from the on-disk artifact store (no recompile).", p.Hits)
+		counter("deadmemd_persist_misses_total", "Artifact-store lookups that fell through to the pipeline.", p.Misses)
+		counter("deadmemd_persist_writes_total", "Artifacts durably persisted.", p.Writes)
+		counter("deadmemd_persist_write_errors_total", "Failed artifact persists (non-fatal; artifact not cached).", p.WriteErrors)
+		counter("deadmemd_persist_corrupt_total", "Records that failed validation on read and were quarantined.", p.Corrupt)
+		counter("deadmemd_persist_served_corrupt_total", "Corrupt records served to a client (MUST be zero).", p.ServedCorrupt)
+		counter("deadmemd_persist_evictions_total", "Records evicted to enforce the on-disk byte bound.", p.Evictions)
+		gauge("deadmemd_persist_entries", "Records currently on disk.", int64(p.Entries))
+		gauge("deadmemd_persist_bytes", "Encoded bytes currently on disk.", p.Bytes)
+	}
+
+	if g.Chaos != nil {
+		fmt.Fprintf(w, "# HELP deadmemd_chaos_injected_total Faults injected by the chaos layer, by kind.\n")
+		fmt.Fprintf(w, "# TYPE deadmemd_chaos_injected_total counter\n")
+		kinds := make([]string, 0, len(g.Chaos))
+		for k := range g.Chaos {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "deadmemd_chaos_injected_total{kind=%q} %d\n", k, g.Chaos[k])
+		}
+	}
 }
 
 // formatBucket renders a bucket bound the way Prometheus clients

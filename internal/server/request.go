@@ -1,6 +1,8 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"deadmembers/internal/api"
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/engine"
@@ -47,32 +50,6 @@ type bundle struct {
 	keepUnreachable bool
 }
 
-// jsonRequest is the POST body of the JSON transport.
-type jsonRequest struct {
-	Sources []jsonSource `json:"sources"`
-	Options jsonOptions  `json:"options"`
-
-	Verbose         bool   `json:"verbose,omitempty"`
-	Classes         bool   `json:"classes,omitempty"`
-	Unreachable     bool   `json:"unreachable,omitempty"`
-	Format          string `json:"format,omitempty"`
-	Budget          int    `json:"budget,omitempty"`
-	KeepUnreachable bool   `json:"keep_unreachable,omitempty"`
-}
-
-type jsonSource struct {
-	Name string `json:"name"`
-	Text string `json:"text"`
-}
-
-type jsonOptions struct {
-	CallGraph      string   `json:"callgraph,omitempty"`
-	Sizeof         string   `json:"sizeof,omitempty"`
-	NoDeleteRule   bool     `json:"no_delete_rule,omitempty"`
-	TrustDowncasts bool     `json:"trust_downcasts,omitempty"`
-	WritesAreUses  bool     `json:"writes_are_uses,omitempty"`
-	Library        []string `json:"library,omitempty"`
-}
 
 // parseRequest decodes a request in either transport:
 //
@@ -107,7 +84,7 @@ func parseRequest(r *http.Request) (*bundle, *httpError) {
 func parseJSONRequest(body []byte) (*bundle, *httpError) {
 	dec := json.NewDecoder(strings.NewReader(string(body)))
 	dec.DisallowUnknownFields()
-	var req jsonRequest
+	var req api.Request
 	if err := dec.Decode(&req); err != nil {
 		return nil, badRequest("invalid JSON body: %v", err)
 	}
@@ -163,7 +140,7 @@ func parseRawRequest(r *http.Request, body []byte) (*bundle, *httpError) {
 		return on, nil
 	}
 	var herr *httpError
-	opts := jsonOptions{
+	opts := api.Options{
 		CallGraph: q.Get("callgraph"),
 		Sizeof:    q.Get("sizeof"),
 	}
@@ -204,7 +181,7 @@ func parseRawRequest(r *http.Request, body []byte) (*bundle, *httpError) {
 
 // decodeOptions maps the wire option names (identical to the CLI flag
 // values) onto deadmember.Options, with the same defaults as the CLIs.
-func decodeOptions(o jsonOptions) (deadmember.Options, *httpError) {
+func decodeOptions(o api.Options) (deadmember.Options, *httpError) {
 	opts := deadmember.Options{
 		NoDeleteSpecialCase: o.NoDeleteRule,
 		TrustDowncasts:      o.TrustDowncasts,
@@ -241,4 +218,30 @@ func decodeFormat(format string) (string, *httpError) {
 	default:
 		return "", badRequest("unknown format %q", format)
 	}
+}
+
+// artifactKey is the content address of a rendered response in the
+// persist store: a hash of the endpoint, every option that affects the
+// rendered bytes, and the compilation fingerprint of the sources. Two
+// requests share a key exactly when their responses are byte-identical
+// by construction.
+func artifactKey(endpoint string, b *bundle) string {
+	canon := strings.Join([]string{
+		endpoint,
+		"cg=" + b.opts.CallGraph.String(),
+		"sizeof=" + b.opts.Sizeof.String(),
+		fmt.Sprintf("nodelete=%t", b.opts.NoDeleteSpecialCase),
+		fmt.Sprintf("downcasts=%t", b.opts.TrustDowncasts),
+		fmt.Sprintf("writesareuses=%t", b.opts.WritesAreUses),
+		"lib=" + strings.Join(b.opts.LibraryClasses, ","),
+		fmt.Sprintf("v=%t", b.verbose),
+		fmt.Sprintf("classes=%t", b.classes),
+		fmt.Sprintf("unreachable=%t", b.unreachable),
+		"format=" + b.format,
+		fmt.Sprintf("budget=%d", b.budget),
+		fmt.Sprintf("keepunreachable=%t", b.keepUnreachable),
+		"src=" + engine.Fingerprint(b.sources...),
+	}, "\x00")
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
 }

@@ -27,13 +27,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
 
+	"deadmembers/internal/api"
 	"deadmembers/internal/engine"
+	"deadmembers/internal/faultinject"
 	"deadmembers/internal/lint"
+	"deadmembers/internal/persist"
 	"deadmembers/internal/strip"
 	"deadmembers/internal/textreport"
 )
@@ -41,9 +45,6 @@ import (
 // statusClientClosedRequest mirrors nginx's nonstandard 499: the client
 // went away before a response could be produced.
 const statusClientClosedRequest = 499
-
-// retryAfterSeconds is the hint sent with 429 responses.
-const retryAfterSeconds = 1
 
 // Config sizes the server. Zero fields take the documented defaults;
 // pass a negative value to disable an optional bound.
@@ -74,6 +75,33 @@ type Config struct {
 	// files are additionally subject to source.MaxFileSize inside the
 	// frontend.
 	MaxRequestBytes int64
+
+	// PersistDir, when non-empty, enables the crash-safe artifact tier:
+	// rendered responses are stored on disk, content-addressed by
+	// (endpoint, options, compilation fingerprint), and served without
+	// recompiling — including by a restarted process (internal/persist).
+	PersistDir string
+	// PersistMaxBytes bounds the on-disk artifact bytes, LRU-evicted
+	// (default 1 GiB; negative = unbounded).
+	PersistMaxBytes int64
+
+	// ChaosRate, when positive, enables deterministic fault injection
+	// (internal/faultinject): each fault site — disk reads/writes/renames
+	// under the persist store, and latency/503/drop on the /v1 endpoints
+	// — fires with this probability. Off by default; never use in
+	// production except to verify that you could.
+	ChaosRate float64
+	// ChaosSeed seeds the injector (default 1) for reproducible chaos.
+	ChaosSeed int64
+	// ChaosLatency is the injected per-request delay when the latency
+	// fault fires (default 50ms).
+	ChaosLatency time.Duration
+
+	// RetryAfter overrides the Retry-After hint sent with 429 responses.
+	// Zero means adaptive: the hint is derived from the current queue
+	// depth and the recent average service time, so clients back off
+	// roughly as long as the backlog needs to clear.
+	RetryAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -95,22 +123,35 @@ func (c Config) withDefaults() Config {
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 64 << 20
 	}
+	if c.PersistMaxBytes == 0 {
+		c.PersistMaxBytes = 1 << 30
+	}
+	if c.ChaosSeed == 0 {
+		c.ChaosSeed = 1
+	}
+	if c.ChaosLatency == 0 {
+		c.ChaosLatency = 50 * time.Millisecond
+	}
 	return c
 }
 
 // Server is the deadmemd service: one shared engine session behind an
-// admission-controlled HTTP API.
+// admission-controlled HTTP API, optionally backed by a crash-safe
+// on-disk artifact store.
 type Server struct {
 	cfg      Config
 	sess     *engine.Session
 	adm      *admission
 	met      *metrics
+	store    *persist.Store        // nil = persistence disabled
+	chaos    *faultinject.Injector // nil = chaos disabled
 	draining atomic.Bool
 	mux      *http.ServeMux
 }
 
-// New builds a Server from cfg (see Config for defaults).
-func New(cfg Config) *Server {
+// New builds a Server from cfg (see Config for defaults). It fails only
+// when the configured persist directory cannot be initialized.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	limits := engine.Limits{}
 	if cfg.CacheMaxBytes > 0 {
@@ -130,13 +171,39 @@ func New(cfg Config) *Server {
 		met:  newMetrics(),
 		mux:  http.NewServeMux(),
 	}
+	if cfg.ChaosRate > 0 {
+		s.chaos = faultinject.New(cfg.ChaosSeed, cfg.ChaosRate)
+	}
+	if cfg.PersistDir != "" {
+		popts := persist.Options{}
+		if cfg.PersistMaxBytes > 0 {
+			popts.MaxBytes = cfg.PersistMaxBytes
+		}
+		if s.chaos != nil {
+			popts.FS = faultinject.FS(persist.OSFS{}, s.chaos)
+		}
+		store, err := persist.Open(cfg.PersistDir, popts)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/v1/analyze", s.endpoint("/v1/analyze", s.analyze))
-	s.mux.HandleFunc("/v1/lint", s.endpoint("/v1/lint", s.lint))
-	s.mux.HandleFunc("/v1/strip", s.endpoint("/v1/strip", s.strip))
-	return s
+	// Chaos wraps only the analysis endpoints: health probes and metrics
+	// must stay truthful even while the network is being wrecked.
+	v1 := func(name string, fn func(ctx context.Context, b *bundle) (*handlerResult, *httpError)) {
+		var h http.Handler = s.endpoint(name, fn)
+		if s.chaos != nil {
+			h = faultinject.Handler(s.chaos, s.cfg.ChaosLatency, h)
+		}
+		s.mux.Handle(name, h)
+	}
+	v1("/v1/analyze", s.analyze)
+	v1("/v1/lint", s.lint)
+	v1("/v1/strip", s.strip)
+	return s, nil
 }
 
 // Handler returns the root HTTP handler.
@@ -188,10 +255,26 @@ func (s *Server) endpoint(name string, fn func(ctx context.Context, b *bundle) (
 			return
 		}
 
+		// Persistent artifact tier: a validated on-disk record is the
+		// exact bytes a full pipeline run would render, so it is served
+		// before admission — disk hits must not queue behind compiles.
+		// A corrupt record is quarantined inside Get and falls through
+		// to a fresh compile; corrupt bytes are never served.
+		var key string
+		if s.store != nil {
+			key = artifactKey(name, b)
+			if body, contentType, ok := s.store.Get(key); ok {
+				w.Header().Set("Content-Type", contentType)
+				w.Header().Set("X-Deadmemd-Cache", "persist")
+				w.Write(body)
+				return
+			}
+		}
+
 		if err := s.adm.acquire(r.Context()); err != nil {
 			if errors.Is(err, errBusy) {
 				s.met.markRejected()
-				w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+				w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterSeconds()))
 				fail(&httpError{http.StatusTooManyRequests, err.Error()})
 			} else {
 				fail(&httpError{statusClientClosedRequest, "client closed request"})
@@ -223,11 +306,39 @@ func (s *Server) endpoint(name string, fn func(ctx context.Context, b *bundle) (
 		}
 		if res.degraded {
 			s.met.markDegraded()
-			w.Header().Set("X-Deadmemd-Degraded", "true")
+			w.Header().Set(api.DegradedHeader, "true")
+		} else if key != "" {
+			// Persist only full-fidelity artifacts, best-effort: a
+			// failed write costs a future recompile, nothing else.
+			s.store.Put(key, res.contentType, res.body)
 		}
 		w.Header().Set("Content-Type", res.contentType)
 		w.Write(res.body)
 	}
+}
+
+// retryAfterSeconds is the hint sent with 429 responses. With no
+// configured override it adapts to the backlog: the queue depth (plus
+// the rejected request itself) times the recent average service time,
+// divided across the execution slots — roughly when a retry will find a
+// free slot — clamped to [1s, 60s].
+func (s *Server) retryAfterSeconds() int {
+	if s.cfg.RetryAfter > 0 {
+		return int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	}
+	avg := s.met.avgServiceSeconds()
+	if avg <= 0 {
+		return 1 // no samples yet; the old fixed hint
+	}
+	wait := avg * float64(s.adm.queueLen()+1) / float64(s.cfg.MaxInflight)
+	sec := int(math.Ceil(wait))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // ctxErr maps a pipeline cancellation onto the transport: deadline → 504,
@@ -356,7 +467,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.sess.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.writePrometheus(w, gauges{
+	g := gauges{
 		CacheHits:      st.Hits,
 		CacheCompiles:  st.Compiles,
 		CacheEvictions: st.Evictions,
@@ -364,5 +475,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheBytes:     st.Bytes,
 		Inflight:       s.adm.inflight(),
 		Queued:         s.adm.queueLen(),
-	})
+	}
+	if s.store != nil {
+		pst := s.store.Stats()
+		g.Persist = &pst
+	}
+	if s.chaos != nil {
+		g.Chaos = s.chaos.Counts()
+	}
+	s.met.writePrometheus(w, g)
 }
+
+// Store exposes the persistent artifact store (nil when disabled); used
+// by tests and the warm-restart smoke.
+func (s *Server) Store() *persist.Store { return s.store }

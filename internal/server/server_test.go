@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"deadmembers/internal/api"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/engine"
 	"deadmembers/internal/lint"
@@ -33,7 +34,10 @@ int main() {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -83,12 +87,12 @@ func TestAnalyzeMatchesCLIRenderer(t *testing.T) {
 // with the full option set.
 func TestAnalyzeJSONBundle(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	req := jsonRequest{
-		Sources: []jsonSource{
+	req := api.Request{
+		Sources: []api.Source{
 			{Name: "a.mcc", Text: "class A { public: int x; A() : x(1) {} };\n"},
 			{Name: "b.mcc", Text: "int main() { A a; return a.x; }\n"},
 		},
-		Options: jsonOptions{CallGraph: "cha"},
+		Options: api.Options{CallGraph: "cha"},
 		Classes: true,
 	}
 	body, _ := json.Marshal(req)
@@ -277,7 +281,10 @@ func TestMetricsExposition(t *testing.T) {
 // TestHandlerPanicContained: a panic below a handler becomes a 500, not a
 // dead connection, and the server keeps serving.
 func TestHandlerPanicContained(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Mount a handler that panics outside the engine's own containment
 	// (simulating a bug in the transport layer itself).
 	mux := http.NewServeMux()
