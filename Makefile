@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race race-server bench fuzz serve smoke-server smoke-restart chaos-smoke ci
+.PHONY: build vet lint test race race-server bench fuzz serve smoke-server smoke-restart smoke-fleet chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ vet:
 # program with its own main(), so they are linted one file at a time.
 # deadlint exits 0 even when it reports findings; only compile errors,
 # degraded runs, and usage mistakes fail the target.
-lint:
+lint: vet
 	$(GO) build -o bin/deadlint ./cmd/deadlint
 	for f in examples/mcc/*.mcc; do bin/deadlint $$f || exit 1; done
 
@@ -46,11 +46,19 @@ smoke-server:
 smoke-restart:
 	sh scripts/smoke_restart.sh
 
-# Chaos soak under the race detector: faulty disk + faulty network,
-# abrupt in-test restart, byte-identity and zero-served-corruption
-# asserted throughout (see internal/server/chaos_soak_test.go).
+# Fleet smoke: three workers behind a coordinator, /v1/batch over the
+# example corpus, one worker SIGKILLed mid-batch; no unit lost, every
+# body byte-identical to the CLIs, ejection observed in the metrics.
+smoke-fleet:
+	sh scripts/smoke_fleet.sh
+
+# Chaos soaks under the race detector: faulty disk + faulty network,
+# abrupt in-test kill and restart, byte-identity and zero-lost-work
+# asserted throughout (see internal/server/chaos_soak_test.go and
+# internal/fleet/soak_test.go).
 chaos-smoke:
 	$(GO) test -race -run TestChaosSoak -v ./internal/server/
+	$(GO) test -race -run TestFleetChaosSoak -v ./internal/fleet/
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -65,4 +73,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzCFG -fuzztime=$(FUZZTIME) .
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build vet race race-server lint smoke-server smoke-restart chaos-smoke
+ci: build vet race race-server lint smoke-server smoke-restart smoke-fleet chaos-smoke

@@ -54,7 +54,8 @@ func (f *fakeClock) Slept() []time.Duration {
 }
 
 // newTestClient pins the jitter to its ceiling (rand = 1) and installs a
-// fake clock into both the retry loop and the breaker.
+// fake clock into the retry loop; per-host breakers are created lazily,
+// so they pick the fake clock up from the client.
 func newTestClient(t *testing.T, cfg Config) (*Client, *fakeClock) {
 	t.Helper()
 	if cfg.Rand == nil {
@@ -63,7 +64,6 @@ func newTestClient(t *testing.T, cfg Config) (*Client, *fakeClock) {
 	c := New(cfg)
 	clk := newFakeClock()
 	c.clk = clk
-	c.br.now = clk.Now
 	return c, clk
 }
 
@@ -328,6 +328,129 @@ func Test429DoesNotTripBreaker(t *testing.T) {
 	c, _ := newTestClient(t, Config{BaseURL: ts.URL, BaseBackoff: time.Millisecond, BreakerThreshold: 1})
 	if _, err := c.Analyze(context.Background(), req()); err != nil {
 		t.Fatalf("429s tripped the breaker: %v", err)
+	}
+}
+
+// TestBreakerIsPerHost is the fleet regression test: one Client calling
+// two hosts, one dead. The dead host's breaker opens; the live host is
+// completely unaffected — without per-host breakers a single dead worker
+// would fail-fast the whole fleet.
+func TestBreakerIsPerHost(t *testing.T) {
+	var liveCalls atomic.Int32
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		liveCalls.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+
+	c, _ := newTestClient(t, Config{
+		MaxAttempts:      2,
+		BaseBackoff:      time.Millisecond,
+		BreakerThreshold: 2,
+	})
+
+	// Two attempts against the dead host trip its breaker.
+	if _, err := c.Do(context.Background(), dead.URL, "/v1/analyze", req()); err == nil {
+		t.Fatal("want error from dead host")
+	}
+	if _, err := c.Do(context.Background(), dead.URL, "/v1/analyze", req()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("dead host err = %v, want ErrCircuitOpen", err)
+	}
+
+	// The live host's breaker is its own: traffic still flows.
+	for i := 0; i < 3; i++ {
+		res, err := c.Do(context.Background(), live.URL, "/v1/analyze", req())
+		if err != nil {
+			t.Fatalf("live host call %d failed behind dead host's breaker: %v", i, err)
+		}
+		if string(res.Body) != "ok" {
+			t.Fatalf("body = %q", res.Body)
+		}
+	}
+	if liveCalls.Load() != 3 {
+		t.Errorf("live host saw %d calls, want 3", liveCalls.Load())
+	}
+}
+
+// TestHalfOpenConcurrentProbes pins the half-open contract under
+// contention: when the cooldown elapses, exactly one of N concurrent
+// callers wins the trial slot; the losers fail fast with ErrCircuitOpen
+// and must not reset or re-open the breaker underneath the winner.
+func TestHalfOpenConcurrentProbes(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(2, 5*time.Second, clk.Now)
+	b.failure()
+	b.failure()
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("breaker did not open: %v", err)
+	}
+	clk.Advance(6 * time.Second)
+
+	const probes = 32
+	var (
+		winners atomic.Int32
+		start   = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < probes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := b.allow(); err == nil {
+				winners.Add(1)
+			} else if !errors.Is(err, ErrCircuitOpen) {
+				t.Errorf("loser got %v, want ErrCircuitOpen", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if winners.Load() != 1 {
+		t.Fatalf("%d concurrent probes won the half-open slot, want exactly 1", winners.Load())
+	}
+
+	// The losers' rejections changed nothing: the winner still owns the
+	// trial, and its verdict alone decides the breaker's fate.
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second trial allowed while the first is outstanding: %v", err)
+	}
+	b.failure() // winner's probe fails → re-open, cooldown restarts
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("failed probe did not re-open the circuit")
+	}
+	clk.Advance(6 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("next probe window refused: %v", err)
+	}
+	b.success()
+	if err := b.allow(); err != nil {
+		t.Fatalf("closed circuit refused traffic: %v", err)
+	}
+}
+
+// TestGiveUpWrapsTransientError: when retries exhaust, the final error
+// must carry the origin's status and Retry-After so a proxy can
+// propagate them instead of inventing its own.
+func TestGiveUpWrapsTransientError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, "busy", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c, _ := newTestClient(t, Config{BaseURL: ts.URL, MaxAttempts: 2, BaseBackoff: time.Millisecond})
+	_, err := c.Analyze(context.Background(), req())
+	var te *TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want wrapped TransientError", err)
+	}
+	if te.Status != http.StatusTooManyRequests || te.RetryAfter != 7*time.Second {
+		t.Errorf("TransientError = %+v, want status 429 retry-after 7s", te)
 	}
 }
 

@@ -1,0 +1,545 @@
+// Package fleet implements deadmemd's coordinator mode: a stateless
+// router in front of N shared-nothing deadmemd workers.
+//
+// Requests to /v1/analyze, /v1/lint, and /v1/strip are consistent-hash
+// routed by compilation fingerprint, so each distinct source bundle
+// compiles on exactly one worker while it is up — the session cache's
+// singleflight property extended across the fleet. The coordinator→
+// worker leg reuses internal/client: per-worker circuit breakers,
+// bounded retries with backoff, Retry-After honored.
+//
+// Robustness is the point of the layer:
+//
+//   - active health checking: /readyz probes eject a dead or draining
+//     worker from routing and readmit it when it recovers;
+//   - failover: when a worker is down, ejected, or its breaker is
+//     open, the request moves to the next node on the ring, under a
+//     bounded per-request retry budget so a sick fleet degrades
+//     instead of retry-storming;
+//   - partial results: /v1/batch scatter-gathers a whole corpus across
+//     the fleet and streams one NDJSON result per unit — units that
+//     could not be served anywhere carry explicit failure records and
+//     the batch as a whole never fails all-or-nothing;
+//   - propagated backpressure: when the fleet is saturated the
+//     coordinator's 429/503 carries the worker's own Retry-After hint
+//     rather than a recomputed one.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deadmembers/internal/api"
+	"deadmembers/internal/client"
+	"deadmembers/internal/engine"
+)
+
+// statusClientClosedRequest mirrors nginx's nonstandard 499 (and the
+// worker server's use of it).
+const statusClientClosedRequest = 499
+
+// Config sizes the coordinator. Zero fields take the documented
+// defaults.
+type Config struct {
+	// Workers are the base URLs of the fleet, e.g.
+	// ["http://10.0.0.1:8100", "http://10.0.0.2:8100"]. Order is
+	// irrelevant to routing (placement is by hash) but preserved in
+	// status output.
+	Workers []string
+
+	// HealthInterval is the /readyz probe period (default 2s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (default 1s).
+	HealthTimeout time.Duration
+	// HealthFailThreshold is the consecutive failed-probe count that
+	// ejects a worker from routing (default 3).
+	HealthFailThreshold int
+
+	// RetryBudget bounds how many distinct workers one request may try
+	// (default 3, clamped to the fleet size). This is the fleet-level
+	// retry bound; AttemptsPerWorker bounds each leg.
+	RetryBudget int
+	// AttemptsPerWorker bounds the client retry loop per worker leg
+	// (default 2).
+	AttemptsPerWorker int
+
+	// BatchConcurrency bounds concurrently in-flight batch units
+	// (default 2×workers, minimum 4).
+	BatchConcurrency int
+
+	// RequestTimeout bounds each proxied call, batch units included
+	// (default 120s; negative = none).
+	RequestTimeout time.Duration
+	// MaxRequestBytes caps the request body (default 64 MiB).
+	MaxRequestBytes int64
+
+	// HTTPClient overrides the transport for worker calls and health
+	// probes (default http.DefaultClient).
+	HTTPClient *http.Client
+	// BaseBackoff/MaxBackoff tune the per-leg client backoff; zero
+	// takes the client's defaults. Tests shrink them.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.HealthFailThreshold <= 0 {
+		c.HealthFailThreshold = 3
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
+	}
+	if c.RetryBudget > len(c.Workers) {
+		c.RetryBudget = len(c.Workers)
+	}
+	if c.AttemptsPerWorker <= 0 {
+		c.AttemptsPerWorker = 2
+	}
+	if c.BatchConcurrency <= 0 {
+		c.BatchConcurrency = 2 * len(c.Workers)
+		if c.BatchConcurrency < 4 {
+			c.BatchConcurrency = 4
+		}
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 120 * time.Second
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 64 << 20
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	return c
+}
+
+// Coordinator routes /v1 traffic across the worker fleet.
+type Coordinator struct {
+	cfg      Config
+	ring     *ring
+	hc       *healthChecker
+	cl       *client.Client
+	met      *metrics
+	draining atomic.Bool
+	mux      *http.ServeMux
+}
+
+// New builds a Coordinator and starts its health-check loop; callers
+// must Close it.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	seen := map[string]bool{}
+	for _, w := range cfg.Workers {
+		u, err := url.Parse(w)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("fleet: invalid worker URL %q", w)
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("fleet: duplicate worker URL %q", w)
+		}
+		seen[w] = true
+	}
+	met := newMetrics()
+	c := &Coordinator{
+		cfg:  cfg,
+		ring: newRing(cfg.Workers),
+		hc: newHealthChecker(cfg.Workers, cfg.HealthInterval, cfg.HealthTimeout,
+			cfg.HealthFailThreshold, cfg.HTTPClient, met),
+		cl: client.New(client.Config{
+			HTTPClient:  cfg.HTTPClient,
+			MaxAttempts: cfg.AttemptsPerWorker,
+			BaseBackoff: cfg.BaseBackoff,
+			MaxBackoff:  cfg.MaxBackoff,
+		}),
+		met: met,
+		mux: http.NewServeMux(),
+	}
+	c.mux.HandleFunc("/healthz", c.handleHealthz)
+	c.mux.HandleFunc("/readyz", c.handleReadyz)
+	c.mux.HandleFunc("/metrics", c.handleMetrics)
+	c.mux.HandleFunc("/fleet/workers", c.handleWorkers)
+	c.mux.Handle("/v1/analyze", c.proxyEndpoint("/v1/analyze"))
+	c.mux.Handle("/v1/lint", c.proxyEndpoint("/v1/lint"))
+	c.mux.Handle("/v1/strip", c.proxyEndpoint("/v1/strip"))
+	c.mux.HandleFunc("/v1/batch", c.handleBatch)
+	go c.hc.run()
+	return c, nil
+}
+
+// Handler returns the root HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the health-check loop.
+func (c *Coordinator) Close() { c.hc.close() }
+
+// StartDrain flips /readyz to 503 and refuses new work, so load
+// balancers stop routing here while in-flight requests finish.
+func (c *Coordinator) StartDrain() { c.draining.Store(true) }
+
+// Stats snapshots the fleet counters (tests and smoke tooling).
+func (c *Coordinator) Stats() Stats { return c.met.stats() }
+
+// Workers returns every worker's current health status.
+func (c *Coordinator) Workers() []WorkerStatus { return c.hc.snapshot() }
+
+// RouteOrder exposes the ring's preference order for a source bundle
+// (ops tooling and tests: "which worker owns this fingerprint?").
+func (c *Coordinator) RouteOrder(sources ...engine.Source) []string {
+	return c.ring.order(engine.Fingerprint(sources...))
+}
+
+// httpError is a terminal failure carrying the status to report and an
+// optional Retry-After propagated from a worker.
+type httpError struct {
+	code       int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (c *Coordinator) fail(w http.ResponseWriter, endpoint string, start time.Time, herr *httpError) {
+	if herr.retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(int(math.Ceil(herr.retryAfter.Seconds()))))
+	}
+	http.Error(w, "deadmemd: "+herr.msg, herr.code)
+	c.met.observe(endpoint, herr.code, time.Since(start))
+}
+
+// proxyEndpoint serves one /v1 analysis endpoint by routing it across
+// the fleet.
+func (c *Coordinator) proxyEndpoint(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			c.fail(w, endpoint, start, &httpError{code: http.StatusMethodNotAllowed, msg: "use POST"})
+			return
+		}
+		if c.draining.Load() {
+			c.fail(w, endpoint, start, &httpError{code: http.StatusServiceUnavailable, msg: "draining"})
+			return
+		}
+		req, herr := c.decode(w, r)
+		if herr != nil {
+			c.fail(w, endpoint, start, herr)
+			return
+		}
+		ctx := r.Context()
+		if c.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+			defer cancel()
+		}
+		res, herr := c.route(ctx, endpoint, req)
+		if herr != nil {
+			c.fail(w, endpoint, start, herr)
+			return
+		}
+		if res.Degraded {
+			w.Header().Set(api.DegradedHeader, "true")
+		}
+		ct := res.ContentType
+		if ct == "" {
+			ct = "text/plain; charset=utf-8"
+		}
+		w.Header().Set("Content-Type", ct)
+		w.Write(res.Body)
+		c.met.observe(endpoint, http.StatusOK, time.Since(start))
+	}
+}
+
+// decode reads and normalizes the request body (either wire form).
+func (c *Coordinator) decode(w http.ResponseWriter, r *http.Request) (*api.Request, *httpError) {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxRequestBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, &httpError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return nil, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("reading body: %v", err)}
+	}
+	req, err := api.FromHTTP(r, body)
+	if err != nil {
+		return nil, &httpError{code: http.StatusBadRequest, msg: err.Error()}
+	}
+	if len(req.Sources) == 0 {
+		return nil, &httpError{code: http.StatusBadRequest, msg: "no sources in request"}
+	}
+	return req, nil
+}
+
+// route sends req down the ring's preference order for its fingerprint
+// until a worker answers or the retry budget is spent.
+//
+// Candidates are the healthy workers in ring order; if every worker is
+// ejected, the full ring order is used anyway — a fleet that is all
+// "down" by probe may still have a worker limping, and trying beats
+// refusing. Terminal 4xx from a worker is the request's own fault and
+// is forwarded without failover (every worker would agree).
+func (c *Coordinator) route(ctx context.Context, endpoint string, req *api.Request) (*client.Result, *httpError) {
+	sources := make([]engine.Source, len(req.Sources))
+	for i, s := range req.Sources {
+		sources[i] = engine.Source{Name: s.Name, Text: s.Text}
+	}
+	prefs := c.ring.order(engine.Fingerprint(sources...))
+	candidates := make([]string, 0, len(prefs))
+	for _, w := range prefs {
+		if c.hc.isHealthy(w) {
+			candidates = append(candidates, w)
+		}
+	}
+	allEjected := len(candidates) == 0
+	if allEjected {
+		candidates = prefs
+	}
+	if len(candidates) > c.cfg.RetryBudget {
+		candidates = candidates[:c.cfg.RetryBudget]
+	}
+
+	var (
+		lastErr   error
+		lastBusy  *client.TransientError
+		failedOne bool
+	)
+	for i, worker := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, ctxErr(err)
+		}
+		if i > 0 {
+			c.met.markRetry()
+		}
+		res, err := c.cl.Do(ctx, worker, endpoint, req)
+		if err == nil {
+			c.met.markRouted(worker)
+			if failedOne {
+				c.met.markFailover()
+			}
+			return res, nil
+		}
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) {
+			return nil, &httpError{code: apiErr.Status, msg: apiErr.Message}
+		}
+		if ctx.Err() != nil {
+			return nil, ctxErr(ctx.Err())
+		}
+		failedOne = true
+		lastErr = err
+		var te *client.TransientError
+		if errors.As(err, &te) {
+			lastBusy = te
+		}
+	}
+
+	// Budget exhausted. Saturation (429) propagates as 429 with the
+	// worker's own Retry-After; everything else is 503.
+	herr := &httpError{code: http.StatusServiceUnavailable,
+		msg: fmt.Sprintf("no worker available: %v", lastErr)}
+	if lastBusy != nil {
+		herr.retryAfter = lastBusy.RetryAfter
+		if lastBusy.Status == http.StatusTooManyRequests {
+			herr.code = http.StatusTooManyRequests
+			herr.msg = fmt.Sprintf("fleet saturated: %v", lastErr)
+		}
+	}
+	if allEjected {
+		herr.msg = "no healthy workers: " + herr.msg
+	}
+	return nil, herr
+}
+
+// ctxErr maps a cancelled proxied call onto the transport: deadline →
+// 504, client disconnect → 499.
+func ctxErr(err error) *httpError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &httpError{code: http.StatusGatewayTimeout, msg: "fleet deadline exceeded"}
+	}
+	return &httpError{code: statusClientClosedRequest, msg: "client closed request"}
+}
+
+// endpointPath maps a batch unit's endpoint name to its /v1 path.
+func endpointPath(name string) (string, bool) {
+	switch name {
+	case "analyze":
+		return "/v1/analyze", true
+	case "lint":
+		return "/v1/lint", true
+	case "strip":
+		return "/v1/strip", true
+	}
+	return "", false
+}
+
+// handleBatch serves POST /v1/batch: scatter-gather over the fleet with
+// streamed per-unit results.
+//
+// The response is NDJSON (one api.BatchEvent per line): unit results in
+// completion order, then exactly one summary line. The HTTP status is
+// committed before any unit runs, so the batch can never turn into an
+// all-or-nothing error: a unit the fleet cannot serve is reported as a
+// failure record in the stream while the rest of the corpus completes.
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "/v1/batch"
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		c.fail(w, endpoint, start, &httpError{code: http.StatusMethodNotAllowed, msg: "use POST"})
+		return
+	}
+	if c.draining.Load() {
+		c.fail(w, endpoint, start, &httpError{code: http.StatusServiceUnavailable, msg: "draining"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxRequestBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			c.fail(w, endpoint, start, &httpError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		c.fail(w, endpoint, start, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("reading body: %v", err)})
+		return
+	}
+	var breq api.BatchRequest
+	if err := json.Unmarshal(body, &breq); err != nil {
+		c.fail(w, endpoint, start, &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf("invalid JSON body: %v", err)})
+		return
+	}
+	if len(breq.Units) == 0 {
+		c.fail(w, endpoint, start, &httpError{code: http.StatusBadRequest, msg: "no units in batch"})
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	emit := func(ev api.BatchEvent) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		w.Write(enc)
+		w.Write([]byte("\n"))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	var (
+		okCount, failCount atomic.Int64
+		wg                 sync.WaitGroup
+		sem                = make(chan struct{}, c.cfg.BatchConcurrency)
+	)
+	for i, u := range breq.Units {
+		wg.Add(1)
+		go func(i int, u api.BatchUnit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := c.runUnit(r.Context(), i, u)
+			if res.OK {
+				okCount.Add(1)
+			} else {
+				failCount.Add(1)
+			}
+			emit(api.BatchEvent{Unit: &res})
+		}(i, u)
+	}
+	wg.Wait()
+	emit(api.BatchEvent{Summary: &api.BatchSummary{
+		Units:  len(breq.Units),
+		OK:     int(okCount.Load()),
+		Failed: int(failCount.Load()),
+	}})
+	c.met.markBatch(int(okCount.Load()), int(failCount.Load()))
+	c.met.observe(endpoint, http.StatusOK, time.Since(start))
+}
+
+// runUnit routes one batch unit and folds the outcome into its result
+// record; it never returns an error — failures are data.
+func (c *Coordinator) runUnit(ctx context.Context, idx int, u api.BatchUnit) api.BatchUnitResult {
+	id := u.ID
+	if id == "" {
+		id = fmt.Sprintf("unit-%d", idx)
+	}
+	path, ok := endpointPath(u.Endpoint)
+	if !ok {
+		return api.BatchUnitResult{ID: id, Status: http.StatusBadRequest,
+			Error: fmt.Sprintf("unknown endpoint %q (want analyze, lint, or strip)", u.Endpoint)}
+	}
+	if len(u.Request.Sources) == 0 {
+		return api.BatchUnitResult{ID: id, Status: http.StatusBadRequest, Error: "no sources in unit"}
+	}
+	if c.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		defer cancel()
+	}
+	res, herr := c.route(ctx, path, &u.Request)
+	if herr != nil {
+		return api.BatchUnitResult{ID: id, Status: herr.code, Error: herr.msg}
+	}
+	return api.BatchUnitResult{
+		ID:          id,
+		OK:          true,
+		Body:        string(res.Body),
+		ContentType: res.ContentType,
+		Degraded:    res.Degraded,
+	}
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case c.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case c.hc.healthyCount() == 0:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no healthy workers")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.met.writePrometheus(w, len(c.cfg.Workers), c.hc.healthyCount())
+}
+
+// handleWorkers serves GET /fleet/workers: per-worker health for ops.
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Workers []WorkerStatus `json:"workers"`
+		Healthy int            `json:"healthy"`
+	}{c.hc.snapshot(), c.hc.healthyCount()})
+}

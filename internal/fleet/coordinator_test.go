@@ -1,0 +1,453 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deadmembers/internal/api"
+	"deadmembers/internal/engine"
+)
+
+// testCfg returns a coordinator config with health probing effectively
+// off and fast backoffs, so routing behavior is deterministic.
+func testCfg(workers ...string) Config {
+	return Config{
+		Workers:        workers,
+		HealthInterval: time.Hour,
+		RetryBudget:    len(workers),
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     2 * time.Millisecond,
+	}
+}
+
+func newTestCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	return co
+}
+
+func apiReq(name, text string) *api.Request {
+	return &api.Request{Sources: []api.Source{{Name: name, Text: text}}}
+}
+
+func postAnalyze(t *testing.T, h http.Handler, req *api.Request) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodPost, "/v1/analyze", bytes.NewReader(body))
+	r.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+// echoWorker is a fake worker that answers every /v1 call with its own
+// tag, so tests can see where a request landed.
+func echoWorker(t *testing.T, tag string, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		if hits != nil {
+			hits.Add(1)
+		}
+		fmt.Fprintf(w, "served-by:%s", tag)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRoutingIsSticky(t *testing.T) {
+	var hitsA, hitsB, hitsC atomic.Int64
+	a := echoWorker(t, "a", &hitsA)
+	b := echoWorker(t, "b", &hitsB)
+	c := echoWorker(t, "c", &hitsC)
+	co := newTestCoordinator(t, testCfg(a.URL, b.URL, c.URL))
+
+	req := apiReq("x.mcc", "class A { int f; };")
+	var first string
+	for i := 0; i < 8; i++ {
+		w := postAnalyze(t, co.Handler(), req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("call %d: status %d: %s", i, w.Code, w.Body)
+		}
+		if first == "" {
+			first = w.Body.String()
+		} else if w.Body.String() != first {
+			t.Fatalf("call %d landed on %q, first landed on %q; routing not sticky", i, w.Body, first)
+		}
+	}
+	served := 0
+	for _, h := range []*atomic.Int64{&hitsA, &hitsB, &hitsC} {
+		if h.Load() > 0 {
+			served++
+		}
+	}
+	if served != 1 {
+		t.Fatalf("identical request spread across %d workers, want exactly 1", served)
+	}
+}
+
+func TestFailoverToSuccessor(t *testing.T) {
+	workers := make(map[string]*httptest.Server)
+	var urls []string
+	for _, tag := range []string{"a", "b", "c"} {
+		ts := echoWorker(t, tag, nil)
+		workers[ts.URL] = ts
+		urls = append(urls, ts.URL)
+	}
+	co := newTestCoordinator(t, testCfg(urls...))
+
+	req := apiReq("x.mcc", "class A { int f; };")
+	order := co.RouteOrder(engine.Source{Name: "x.mcc", Text: "class A { int f; };"})
+	workers[order[0]].Close() // kill the primary; health checks are off
+
+	w := postAnalyze(t, co.Handler(), req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d after primary death, want 200: %s", w.Code, w.Body)
+	}
+	st := co.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("failover counter did not move")
+	}
+	if st.RoutedByURL[order[1]] == 0 {
+		t.Fatalf("request not served by the ring successor %s: routed=%v", order[1], st.RoutedByURL)
+	}
+}
+
+// TestTerminal4xxNoFailover: a worker rejecting the request as invalid
+// speaks for every worker; the coordinator must forward the 4xx rather
+// than burn the retry budget re-asking.
+func TestTerminal4xxNoFailover(t *testing.T) {
+	var calls atomic.Int64
+	reject := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		calls.Add(1)
+		http.Error(w, "deadmemd: unknown callgraph \"bogus\"", http.StatusBadRequest)
+	}))
+	t.Cleanup(reject.Close)
+	ok := echoWorker(t, "ok", nil)
+	co := newTestCoordinator(t, testCfg(reject.URL, ok.URL))
+
+	// Find a request whose primary is the rejecting worker.
+	var req *api.Request
+	for i := 0; i < 100; i++ {
+		name, text := fmt.Sprintf("f%d.mcc", i), "class A { int f; };"
+		if co.RouteOrder(engine.Source{Name: name, Text: text})[0] == reject.URL {
+			req = apiReq(name, text)
+			break
+		}
+	}
+	if req == nil {
+		t.Fatal("could not find a key owned by the rejecting worker")
+	}
+	w := postAnalyze(t, co.Handler(), req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", w.Code, w.Body)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("rejecting worker called %d times, want exactly 1 (no failover on 4xx)", got)
+	}
+	if st := co.Stats(); st.Failovers != 0 {
+		t.Fatalf("failovers = %d on a terminal 4xx, want 0", st.Failovers)
+	}
+}
+
+// TestRetryAfterPropagated: when the whole fleet is saturated, the
+// coordinator's 429 must carry the workers' own Retry-After hint, not a
+// recomputed one.
+func TestRetryAfterPropagated(t *testing.T) {
+	busy := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/readyz" {
+				fmt.Fprintln(w, "ready")
+				return
+			}
+			w.Header().Set("Retry-After", "7")
+			http.Error(w, "deadmemd: server busy", http.StatusTooManyRequests)
+		}))
+	}
+	a, b := busy(), busy()
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	cfg := testCfg(a.URL, b.URL)
+	cfg.AttemptsPerWorker = 1
+	co := newTestCoordinator(t, cfg)
+
+	w := postAnalyze(t, co.Handler(), apiReq("x.mcc", "class A { int f; };"))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want %q (worker hint propagated)", got, "7")
+	}
+}
+
+// TestBatchPartialResults: a batch never fails all-or-nothing — bad
+// units carry failure records while the rest complete.
+func TestBatchPartialResults(t *testing.T) {
+	a := echoWorker(t, "a", nil)
+	b := echoWorker(t, "b", nil)
+	co := newTestCoordinator(t, testCfg(a.URL, b.URL))
+
+	breq := api.BatchRequest{Units: []api.BatchUnit{
+		{ID: "good", Endpoint: "analyze", Request: *apiReq("x.mcc", "class A { int f; };")},
+		{ID: "bad-endpoint", Endpoint: "explode", Request: *apiReq("x.mcc", "class A { int f; };")},
+		{Endpoint: "lint"}, // no sources, no id
+	}}
+	body, _ := json.Marshal(breq)
+	r := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+	r.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	co.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status %d, want 200: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	units := map[string]api.BatchUnitResult{}
+	var summary *api.BatchSummary
+	sc := bufio.NewScanner(strings.NewReader(w.Body.String()))
+	for sc.Scan() {
+		var ev api.BatchEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case ev.Unit != nil:
+			if summary != nil {
+				t.Fatal("unit event after summary")
+			}
+			units[ev.Unit.ID] = *ev.Unit
+		case ev.Summary != nil:
+			summary = ev.Summary
+		default:
+			t.Fatalf("empty event line %q", sc.Text())
+		}
+	}
+	if summary == nil {
+		t.Fatal("no summary event")
+	}
+	if summary.Units != 3 || summary.OK != 1 || summary.Failed != 2 {
+		t.Fatalf("summary = %+v, want 3 units, 1 ok, 2 failed", summary)
+	}
+	if !units["good"].OK || !strings.HasPrefix(units["good"].Body, "served-by:") {
+		t.Fatalf("good unit = %+v", units["good"])
+	}
+	if u := units["bad-endpoint"]; u.OK || u.Status != http.StatusBadRequest || !strings.Contains(u.Error, "explode") {
+		t.Fatalf("bad-endpoint unit = %+v", u)
+	}
+	if u := units["unit-2"]; u.OK || u.Status != http.StatusBadRequest {
+		t.Fatalf("sourceless unit = %+v (want default id unit-2, status 400)", u)
+	}
+}
+
+// TestBatchAllWorkersDown: even with zero reachable workers the batch
+// answers 200 with a failure record per unit — the partial-result
+// contract's degenerate case.
+func TestBatchAllWorkersDown(t *testing.T) {
+	dead := echoWorker(t, "dead", nil)
+	url := dead.URL
+	dead.Close()
+	cfg := testCfg(url)
+	cfg.AttemptsPerWorker = 1
+	co := newTestCoordinator(t, cfg)
+
+	body, _ := json.Marshal(api.BatchRequest{Units: []api.BatchUnit{
+		{ID: "u1", Endpoint: "analyze", Request: *apiReq("x.mcc", "class A { int f; };")},
+		{ID: "u2", Endpoint: "lint", Request: *apiReq("y.mcc", "class B { int g; };")},
+	}})
+	r := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body))
+	r.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	co.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status %d, want 200 with failure records", w.Code)
+	}
+	failed := 0
+	sc := bufio.NewScanner(strings.NewReader(w.Body.String()))
+	for sc.Scan() {
+		var ev api.BatchEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Unit != nil {
+			if ev.Unit.OK || ev.Unit.Status != http.StatusServiceUnavailable || ev.Unit.Error == "" {
+				t.Fatalf("unit = %+v, want explicit 503 failure record", ev.Unit)
+			}
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("%d failure records, want 2", failed)
+	}
+}
+
+// TestHealthEjectReadmit drives the probe loop against a worker that
+// goes unready and comes back: ejection must stop routing to it,
+// readmission must bring its keys home.
+func TestHealthEjectReadmit(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	flappy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			if !ready.Load() {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		fmt.Fprint(w, "served-by:flappy")
+	}))
+	t.Cleanup(flappy.Close)
+	stable := echoWorker(t, "stable", nil)
+
+	cfg := testCfg(flappy.URL, stable.URL)
+	cfg.HealthInterval = 10 * time.Millisecond
+	cfg.HealthFailThreshold = 2
+	co := newTestCoordinator(t, cfg)
+
+	waitFor := func(what string, pred func(Stats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if pred(co.Stats()) {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %s; stats %+v", what, co.Stats())
+	}
+
+	ready.Store(false)
+	waitFor("ejection", func(s Stats) bool { return s.Ejections >= 1 })
+	for _, ws := range co.Workers() {
+		if ws.URL == flappy.URL && ws.Healthy {
+			t.Fatal("flappy worker still marked healthy after ejection")
+		}
+	}
+	// While ejected, its keys route elsewhere without a failed leg.
+	var req *api.Request
+	for i := 0; i < 100; i++ {
+		name, text := fmt.Sprintf("f%d.mcc", i), "class A { int f; };"
+		if co.RouteOrder(engine.Source{Name: name, Text: text})[0] == flappy.URL {
+			req = apiReq(name, text)
+			break
+		}
+	}
+	if req == nil {
+		t.Fatal("no key owned by flappy worker")
+	}
+	w := postAnalyze(t, co.Handler(), req)
+	if w.Code != http.StatusOK || w.Body.String() != "served-by:stable" {
+		t.Fatalf("ejected-primary request: status %d body %q, want stable worker", w.Code, w.Body)
+	}
+
+	ready.Store(true)
+	waitFor("readmission", func(s Stats) bool { return s.Readmissions >= 1 })
+	w = postAnalyze(t, co.Handler(), req)
+	if w.Code != http.StatusOK || w.Body.String() != "served-by:flappy" {
+		t.Fatalf("post-readmission request: status %d body %q, want keys home on flappy", w.Code, w.Body)
+	}
+	if st := co.Stats(); st.Rebalances < 2 {
+		t.Fatalf("rebalances = %d, want >= 2 (ejection + readmission)", st.Rebalances)
+	}
+}
+
+func TestReadyzReflectsFleetHealth(t *testing.T) {
+	dead := echoWorker(t, "dead", nil)
+	url := dead.URL
+	dead.Close()
+	cfg := testCfg(url)
+	cfg.HealthInterval = 10 * time.Millisecond
+	cfg.HealthFailThreshold = 1
+	co := newTestCoordinator(t, cfg)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+		w := httptest.NewRecorder()
+		co.Handler().ServeHTTP(w, r)
+		if w.Code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never went 503 with zero healthy workers")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDrainRefusesWork(t *testing.T) {
+	a := echoWorker(t, "a", nil)
+	co := newTestCoordinator(t, testCfg(a.URL))
+	co.StartDrain()
+
+	w := postAnalyze(t, co.Handler(), apiReq("x.mcc", "class A { int f; };"))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("analyze during drain: status %d, want 503", w.Code)
+	}
+	r := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	rw := httptest.NewRecorder()
+	co.Handler().ServeHTTP(rw, r)
+	if rw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: status %d, want 503", rw.Code)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	a := echoWorker(t, "a", nil)
+	co := newTestCoordinator(t, testCfg(a.URL))
+	postAnalyze(t, co.Handler(), apiReq("x.mcc", "class A { int f; };"))
+
+	r := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	co.Handler().ServeHTTP(w, r)
+	out := w.Body.String()
+	for _, series := range []string{
+		"deadmemd_fleet_requests_total{endpoint=\"/v1/analyze\",code=\"200\"} 1",
+		"deadmemd_fleet_routed_total{worker=",
+		"deadmemd_fleet_failover_total 0",
+		"deadmemd_fleet_rebalance_total 0",
+		"deadmemd_fleet_workers 1",
+		"deadmemd_fleet_workers_healthy 1",
+	} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("metrics missing %q in:\n%s", series, out)
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no workers did not error")
+	}
+	if _, err := New(Config{Workers: []string{"not a url"}}); err == nil {
+		t.Fatal("New with invalid worker URL did not error")
+	}
+	if _, err := New(Config{Workers: []string{"http://a:1", "http://a:1"}}); err == nil {
+		t.Fatal("New with duplicate workers did not error")
+	}
+}

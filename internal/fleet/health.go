@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// healthChecker actively probes each worker's /readyz and maintains the
+// eject/readmit state the router consults. A worker is ejected after
+// FailThreshold consecutive failed probes (routing skips it without
+// burning a connection attempt) and readmitted on the first successful
+// probe — so a restarted or recovered worker rejoins the ring within
+// one probe interval, and its keys come home.
+type healthChecker struct {
+	workers   []string
+	interval  time.Duration
+	timeout   time.Duration
+	threshold int
+	client    *http.Client
+	met       *metrics
+
+	mu    sync.Mutex
+	state map[string]*workerHealth
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type workerHealth struct {
+	healthy bool
+	fails   int // consecutive failed probes
+}
+
+// WorkerStatus is one worker's health as reported by /fleet/workers.
+type WorkerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Fails is the current consecutive failed-probe count.
+	Fails int `json:"fails,omitempty"`
+}
+
+func newHealthChecker(workers []string, interval, timeout time.Duration, threshold int, hc *http.Client, met *metrics) *healthChecker {
+	state := make(map[string]*workerHealth, len(workers))
+	for _, w := range workers {
+		// Workers start healthy: a booting coordinator must not refuse
+		// traffic for an interval while the first probes land.
+		state[w] = &workerHealth{healthy: true}
+	}
+	return &healthChecker{
+		workers:   workers,
+		interval:  interval,
+		timeout:   timeout,
+		threshold: threshold,
+		client:    hc,
+		met:       met,
+		state:     state,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// run is the probe loop; it exits when close is called.
+func (h *healthChecker) run() {
+	defer close(h.done)
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			h.probeAll()
+		}
+	}
+}
+
+func (h *healthChecker) close() {
+	close(h.stop)
+	<-h.done
+}
+
+// probeAll probes every worker concurrently; one slow worker must not
+// delay the verdict on its peers.
+func (h *healthChecker) probeAll() {
+	var wg sync.WaitGroup
+	for _, w := range h.workers {
+		wg.Add(1)
+		go func(w string) {
+			defer wg.Done()
+			h.record(w, h.probe(w))
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probe reports whether one /readyz answered 200 within the timeout. A
+// draining worker answers 503 and is treated exactly like a dead one:
+// stop routing new work there.
+func (h *healthChecker) probe(worker string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(worker, "/")+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// record folds one probe result into the eject/readmit state machine.
+func (h *healthChecker) record(worker string, ok bool) {
+	h.met.markProbe(ok)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.state[worker]
+	if ok {
+		st.fails = 0
+		if !st.healthy {
+			st.healthy = true
+			h.met.markReadmission()
+		}
+		return
+	}
+	st.fails++
+	if st.healthy && st.fails >= h.threshold {
+		st.healthy = false
+		h.met.markEjection()
+	}
+}
+
+// isHealthy reports whether routing should consider worker at all.
+func (h *healthChecker) isHealthy(worker string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state[worker].healthy
+}
+
+// snapshot returns every worker's status in configuration order.
+func (h *healthChecker) snapshot() []WorkerStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(h.workers))
+	for _, w := range h.workers {
+		st := h.state[w]
+		out = append(out, WorkerStatus{URL: w, Healthy: st.healthy, Fails: st.fails})
+	}
+	return out
+}
+
+// healthyCount is the number of workers currently admitted to routing.
+func (h *healthChecker) healthyCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, st := range h.state {
+		if st.healthy {
+			n++
+		}
+	}
+	return n
+}

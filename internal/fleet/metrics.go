@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics aggregates coordinator-side counters for /metrics. Safe for
+// concurrent use; exposition is deterministic (sorted label sets).
+type metrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]int64 // finished coordinator requests
+	routed   map[string]int64 // successful proxied calls by worker
+	latency  map[string]*latencySummary
+
+	failovers     int64 // requests moved past their primary to a successor
+	ejections     int64 // workers removed from routing by health checks
+	readmissions  int64 // workers restored to routing
+	probes        int64
+	probeFailures int64
+	batches       int64
+	batchUnitsOK  int64
+	batchUnitsErr int64
+	retriesSpent  int64 // extra worker legs beyond the first, all causes
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+type latencySummary struct {
+	sum   float64
+	count int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[reqKey]int64{},
+		routed:   map[string]int64{},
+		latency:  map[string]*latencySummary{},
+	}
+}
+
+func (m *metrics) observe(endpoint string, code int, took time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{endpoint, code}]++
+	ls := m.latency[endpoint]
+	if ls == nil {
+		ls = &latencySummary{}
+		m.latency[endpoint] = ls
+	}
+	ls.sum += took.Seconds()
+	ls.count++
+}
+
+func (m *metrics) markRouted(worker string) {
+	m.mu.Lock()
+	m.routed[worker]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) markFailover() {
+	m.mu.Lock()
+	m.failovers++
+	m.mu.Unlock()
+}
+
+func (m *metrics) markRetry() {
+	m.mu.Lock()
+	m.retriesSpent++
+	m.mu.Unlock()
+}
+
+func (m *metrics) markEjection() {
+	m.mu.Lock()
+	m.ejections++
+	m.mu.Unlock()
+}
+
+func (m *metrics) markReadmission() {
+	m.mu.Lock()
+	m.readmissions++
+	m.mu.Unlock()
+}
+
+func (m *metrics) markProbe(ok bool) {
+	m.mu.Lock()
+	m.probes++
+	if !ok {
+		m.probeFailures++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) markBatch(ok, failed int) {
+	m.mu.Lock()
+	m.batches++
+	m.batchUnitsOK += int64(ok)
+	m.batchUnitsErr += int64(failed)
+	m.mu.Unlock()
+}
+
+// Stats is a snapshot of the fleet counters, used by tests and smoke
+// tooling; the Prometheus exposition is the production surface.
+type Stats struct {
+	Failovers     int64
+	Ejections     int64
+	Readmissions  int64
+	Rebalances    int64 // ejections + readmissions: routing-order changes
+	Probes        int64
+	ProbeFailures int64
+	Batches       int64
+	BatchUnitsOK  int64
+	BatchUnitsErr int64
+	RoutedByURL   map[string]int64
+}
+
+func (m *metrics) stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	routed := make(map[string]int64, len(m.routed))
+	for k, v := range m.routed {
+		routed[k] = v
+	}
+	return Stats{
+		Failovers:     m.failovers,
+		Ejections:     m.ejections,
+		Readmissions:  m.readmissions,
+		Rebalances:    m.ejections + m.readmissions,
+		Probes:        m.probes,
+		ProbeFailures: m.probeFailures,
+		Batches:       m.batches,
+		BatchUnitsOK:  m.batchUnitsOK,
+		BatchUnitsErr: m.batchUnitsErr,
+		RoutedByURL:   routed,
+	}
+}
+
+// writePrometheus renders the Prometheus text exposition format.
+func (m *metrics) writePrometheus(w io.Writer, workers, healthy int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP deadmemd_fleet_requests_total Coordinator requests served, by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE deadmemd_fleet_requests_total counter\n")
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "deadmemd_fleet_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP deadmemd_fleet_request_duration_seconds Coordinator request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE deadmemd_fleet_request_duration_seconds summary\n")
+	endpoints := make([]string, 0, len(m.latency))
+	for e := range m.latency {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		ls := m.latency[e]
+		fmt.Fprintf(w, "deadmemd_fleet_request_duration_seconds_sum{endpoint=%q} %g\n", e, ls.sum)
+		fmt.Fprintf(w, "deadmemd_fleet_request_duration_seconds_count{endpoint=%q} %d\n", e, ls.count)
+	}
+
+	fmt.Fprintf(w, "# HELP deadmemd_fleet_routed_total Successful proxied calls, by worker.\n")
+	fmt.Fprintf(w, "# TYPE deadmemd_fleet_routed_total counter\n")
+	urls := make([]string, 0, len(m.routed))
+	for u := range m.routed {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		fmt.Fprintf(w, "deadmemd_fleet_routed_total{worker=%q} %d\n", u, m.routed[u])
+	}
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("deadmemd_fleet_failover_total", "Requests served by a ring successor after their primary failed.", m.failovers)
+	counter("deadmemd_fleet_retries_total", "Extra worker legs spent beyond each request's first, all causes.", m.retriesSpent)
+	counter("deadmemd_fleet_ejections_total", "Workers ejected from routing by failed health probes.", m.ejections)
+	counter("deadmemd_fleet_readmissions_total", "Ejected workers readmitted after a successful probe.", m.readmissions)
+	counter("deadmemd_fleet_rebalance_total", "Routing-order changes (ejections plus readmissions).", m.ejections+m.readmissions)
+	counter("deadmemd_fleet_probes_total", "Health probes sent.", m.probes)
+	counter("deadmemd_fleet_probe_failures_total", "Health probes that failed.", m.probeFailures)
+	counter("deadmemd_fleet_batches_total", "Batch requests served.", m.batches)
+	counter("deadmemd_fleet_batch_units_ok_total", "Batch units that completed successfully.", m.batchUnitsOK)
+	counter("deadmemd_fleet_batch_units_failed_total", "Batch units that carried a failure record.", m.batchUnitsErr)
+	gauge("deadmemd_fleet_workers", "Configured workers.", int64(workers))
+	gauge("deadmemd_fleet_workers_healthy", "Workers currently admitted to routing.", int64(healthy))
+}

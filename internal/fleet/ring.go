@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodes is the number of points each worker contributes to the ring.
+// 64 keeps the worst-case load skew across a handful of workers under a
+// few percent while the full ring stays small enough to rebuild in
+// microseconds.
+const vnodes = 64
+
+// ring is a consistent-hash ring over the worker set. It is immutable
+// after newRing: health-based ejection filters the candidate order at
+// lookup time instead of rebuilding the ring, so a worker that flaps
+// never reshuffles keys owned by its healthy peers.
+type ring struct {
+	workers []string
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int // index into workers
+}
+
+func newRing(workers []string) *ring {
+	r := &ring{workers: workers}
+	for wi, w := range workers {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashString(fmt.Sprintf("%s#%d", w, v)),
+				worker: wi,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r
+}
+
+// order returns every worker in preference order for key: the primary
+// (first vnode clockwise from the key's hash) first, then each distinct
+// successor. Identical keys always produce identical orders, so a
+// fingerprint compiles on exactly one node while that node is up — and
+// fails over to the same successor everywhere when it is not.
+func (r *ring) order(key string) []string {
+	if len(r.workers) == 0 {
+		return nil
+	}
+	h := hashString(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.workers))
+	seen := make([]bool, len(r.workers))
+	for i := 0; i < len(r.points) && len(out) < len(r.workers); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, r.workers[p.worker])
+		}
+	}
+	return out
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

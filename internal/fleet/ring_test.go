@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingOrderDeterministic(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := newRing(workers)
+	r2 := newRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("fingerprint-%d", i)
+		o1, o2 := r1.order(key), r2.order(key)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("order(%q) differs across identical rings: %v vs %v", key, o1, o2)
+		}
+		if len(o1) != len(workers) {
+			t.Fatalf("order(%q) = %v, want %d distinct workers", key, o1, len(workers))
+		}
+		seen := map[string]bool{}
+		for _, w := range o1 {
+			if seen[w] {
+				t.Fatalf("order(%q) repeats worker %s: %v", key, w, o1)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+// TestRingBalance: with vnodes per worker, primary placement over many
+// keys should not starve any worker. The bound is deliberately loose —
+// consistent hashing trades perfect balance for stability.
+func TestRingBalance(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(workers)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.order(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for _, w := range workers {
+		if counts[w] < keys/10 {
+			t.Fatalf("worker %s owns only %d/%d keys; ring badly skewed: %v", w, counts[w], keys, counts)
+		}
+	}
+}
+
+// TestRingStability: adding a worker must not reshuffle keys between
+// the surviving workers — only moves toward the new node are allowed.
+func TestRingStability(t *testing.T) {
+	old := newRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	grown := newRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"})
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, is := old.order(key)[0], grown.order(key)[0]
+		if was == is {
+			kept++
+			continue
+		}
+		if is != "http://d:1" {
+			t.Fatalf("key %q moved %s -> %s, not to the new worker", key, was, is)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new worker")
+	}
+	if kept == 0 {
+		t.Fatal("every key moved; ring is not consistent")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if got := newRing(nil).order("k"); got != nil {
+		t.Fatalf("empty ring order = %v, want nil", got)
+	}
+}

@@ -1,0 +1,347 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"deadmembers/internal/api"
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/engine"
+	"deadmembers/internal/lint"
+	"deadmembers/internal/server"
+	"deadmembers/internal/strip"
+	"deadmembers/internal/textreport"
+)
+
+// TestFleetChaosSoak is the fleet-mode acceptance test: three real
+// chaos-enabled workers behind a coordinator, a /v1/batch over a corpus
+// streamed while one worker is SIGKILL-equivalently destroyed
+// mid-batch (listener and connections torn down, no drain), then the
+// worker restarted on the same address. The invariants:
+//
+//   - no request is lost: the stream carries exactly one result per
+//     unit plus one summary, even across the kill;
+//   - every unit eventually succeeds with a body byte-identical to the
+//     local CLI renderers' output (failure records are allowed on the
+//     way; wrong bytes never);
+//   - the failover and rebalance counters move: surviving workers
+//     absorb the dead worker's keys, health checks eject it, and the
+//     restarted worker is readmitted.
+func TestFleetChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; run without -short")
+	}
+
+	// The corpus, with ground truth rendered through the same writers
+	// the CLIs and workers use.
+	type job struct {
+		endpoint string
+		req      *api.Request
+		source   engine.Source
+		want     string
+	}
+	var jobs []job
+	for i := 0; i < 8; i++ {
+		text := fmt.Sprintf(`class C%d {
+public:
+	int used;
+	int unused;
+	C%d() : used(1), unused(2) {}
+};
+int main() { C%d c; return c.used; }
+`, i, i, i)
+		name := fmt.Sprintf("c%d.mcc", i)
+		src := engine.Source{Name: name, Text: text}
+		comp := engine.Compile(engine.Config{Workers: 1}, src)
+		if err := comp.Err(); err != nil {
+			t.Fatal(err)
+		}
+		req := &api.Request{Sources: []api.Source{{Name: name, Text: text}}}
+
+		var abuf bytes.Buffer
+		if err := textreport.Write(&abuf, comp.Analyze(deadmember.Options{}), textreport.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{"analyze", req, src, abuf.String()})
+
+		var lbuf bytes.Buffer
+		if err := lint.WriteText(&lbuf, comp.Lint(deadmember.Options{}, lint.Options{})); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{"lint", req, src, lbuf.String()})
+
+		var sbuf bytes.Buffer
+		if err := strip.WriteSources(&sbuf, comp.Strip(deadmember.Options{}, strip.Options{}).Sources); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{"strip", req, src, sbuf.String()})
+	}
+
+	// Three chaos-enabled workers, each with its own persist dir.
+	bootWorker := func(ln net.Listener, seed int64) *http.Server {
+		t.Helper()
+		s, err := server.New(server.Config{
+			Workers:      1,
+			PersistDir:   t.TempDir(),
+			ChaosRate:    0.05,
+			ChaosSeed:    seed,
+			ChaosLatency: time.Millisecond,
+			MaxInflight:  4,
+			MaxQueue:     64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln)
+		return hs
+	}
+	servers := make(map[string]*http.Server)
+	var urls []string
+	for i := 0; i < 3; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		url := "http://" + ln.Addr().String()
+		servers[url] = bootWorker(ln, int64(100+i))
+		urls = append(urls, url)
+	}
+	defer func() {
+		for _, hs := range servers {
+			hs.Close()
+		}
+	}()
+
+	// Health checks deliberately slow relative to the batch: the kill
+	// must be survived by failover first, ejection second.
+	co, err := New(Config{
+		Workers:             urls,
+		HealthInterval:      100 * time.Millisecond,
+		HealthTimeout:       time.Second,
+		HealthFailThreshold: 3,
+		RetryBudget:         3,
+		AttemptsPerWorker:   4,
+		BatchConcurrency:    2,
+		BaseBackoff:         2 * time.Millisecond,
+		MaxBackoff:          20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	front := httptest.NewServer(co.Handler())
+	defer front.Close()
+
+	// The victim is the worker owning the most primaries, so the kill
+	// is guaranteed to strand in-flight keys.
+	primaries := map[string]int{}
+	for _, j := range jobs {
+		primaries[co.RouteOrder(j.source)[0]]++
+	}
+	victim := urls[0]
+	for u, n := range primaries {
+		if n > primaries[victim] {
+			victim = u
+		}
+	}
+
+	units := make([]api.BatchUnit, len(jobs))
+	for i, j := range jobs {
+		units[i] = api.BatchUnit{ID: fmt.Sprintf("job-%d", i), Endpoint: j.endpoint, Request: *j.req}
+	}
+	body, err := json.Marshal(api.BatchRequest{Units: units})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(front.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+
+	// Stream the NDJSON results, killing the victim after the second
+	// unit lands — abrupt teardown, no drain, connections reset.
+	results := map[string]api.BatchUnitResult{}
+	var summary *api.BatchSummary
+	killed := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev api.BatchEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case ev.Unit != nil:
+			if _, dup := results[ev.Unit.ID]; dup {
+				t.Fatalf("unit %s reported twice", ev.Unit.ID)
+			}
+			results[ev.Unit.ID] = *ev.Unit
+			if len(results) == 2 && !killed {
+				killed = true
+				servers[victim].Close()
+			}
+		case ev.Summary != nil:
+			summary = ev.Summary
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !killed {
+		t.Fatal("batch finished before the kill could land")
+	}
+
+	// No request lost: one result per unit, summary consistent.
+	if summary == nil {
+		t.Fatal("no summary event")
+	}
+	if summary.Units != len(units) || len(results) != len(units) {
+		t.Fatalf("summary %+v with %d results, want %d units accounted for", summary, len(results), len(units))
+	}
+	if summary.OK+summary.Failed != summary.Units {
+		t.Fatalf("summary %+v does not add up", summary)
+	}
+
+	// Partial-result contract: successes must be byte-identical to the
+	// CLI renderers; failures must be explicit records, never silence.
+	checkBody := func(id, got string, j job) {
+		t.Helper()
+		if got != j.want {
+			t.Fatalf("%s (%s %s): served bytes differ from CLI ground truth:\ngot:  %q\nwant: %q",
+				id, j.endpoint, j.source.Name, got, j.want)
+		}
+	}
+	var failedIDs []string
+	for i, j := range jobs {
+		id := fmt.Sprintf("job-%d", i)
+		r := results[id]
+		if r.OK {
+			checkBody(id, r.Body, j)
+		} else {
+			if r.Status == 0 || r.Error == "" {
+				t.Fatalf("%s failed without an explicit failure record: %+v", id, r)
+			}
+			failedIDs = append(failedIDs, id)
+		}
+	}
+
+	// Every unit eventually succeeds: retry the failures through the
+	// coordinator until the surviving workers absorb them all.
+	deadline := time.Now().Add(30 * time.Second)
+	for _, id := range failedIDs {
+		var idx int
+		fmt.Sscanf(id, "job-%d", &idx)
+		j := jobs[idx]
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never succeeded after the kill", id)
+			}
+			ok, bodyStr := postOne(t, front.URL, j.endpoint, j.req)
+			if ok {
+				checkBody(id, bodyStr, j)
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// The kill must be visible in the counters: failover moved keys to
+	// ring successors, and the health checker ejected the dead worker.
+	waitFor := func(what string, pred func(Stats) bool) {
+		t.Helper()
+		for !pred(co.Stats()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s; stats %+v", what, co.Stats())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if st := co.Stats(); st.Failovers == 0 {
+		t.Fatalf("failover counter did not move across the kill; stats %+v", st)
+	}
+	waitFor("ejection of the dead worker", func(s Stats) bool { return s.Ejections >= 1 })
+
+	// Restart the victim on the same address; the health checker must
+	// readmit it and its keys must come home and still serve correct
+	// bytes.
+	victimAddr := strings.TrimPrefix(victim, "http://")
+	var relisten net.Listener
+	for i := 0; i < 100; i++ {
+		var lnErr error
+		relisten, lnErr = net.Listen("tcp", victimAddr)
+		if lnErr == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if relisten == nil {
+		t.Fatalf("could not rebind %s after the kill", victimAddr)
+	}
+	servers[victim] = bootWorker(relisten, 999)
+	waitFor("readmission of the restarted worker", func(s Stats) bool { return s.Readmissions >= 1 })
+	if st := co.Stats(); st.Rebalances < 2 {
+		t.Fatalf("rebalance counter = %d, want >= 2 (ejection + readmission); stats %+v", st.Rebalances, st)
+	}
+
+	// A key owned by the victim serves again, byte-identical.
+	for i, j := range jobs {
+		if co.RouteOrder(j.source)[0] != victim {
+			continue
+		}
+		var got string
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("victim-owned job-%d never served after restart", i)
+			}
+			ok, bodyStr := postOne(t, front.URL, j.endpoint, j.req)
+			if ok {
+				got = bodyStr
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		checkBody(fmt.Sprintf("job-%d(restarted)", i), got, j)
+		break
+	}
+}
+
+// postOne sends a single unit through the coordinator's plain /v1
+// endpoint; failures are data for the soak's retry loop.
+func postOne(t *testing.T, base, endpoint string, req *api.Request) (bool, string) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/"+endpoint, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		return false, ""
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return false, ""
+	}
+	return resp.StatusCode == http.StatusOK, buf.String()
+}

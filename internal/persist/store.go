@@ -26,6 +26,14 @@ type Options struct {
 	// least-recently-used records are evicted once it is exceeded.
 	// 0 means unlimited.
 	MaxBytes int64
+	// MaxQuarantine caps the number of files kept in quarantine/ for
+	// post-mortem; the oldest are deleted past it (0 = default 64,
+	// negative = unbounded). Without a cap a flaky disk fills the volume
+	// with corpses.
+	MaxQuarantine int
+	// MaxQuarantineBytes caps the total quarantined bytes the same way
+	// (0 = default 64 MiB, negative = unbounded).
+	MaxQuarantineBytes int64
 	// FS overrides the filesystem (nil = the real one). Fault-injection
 	// tests pass a faultinject-wrapped FS here.
 	FS FS
@@ -51,27 +59,46 @@ type Stats struct {
 	ServedCorrupt int64
 	// Evictions counts records removed to enforce MaxBytes.
 	Evictions int64
+	// Quarantined counts records successfully moved into quarantine/
+	// (Corrupt minus the ones whose file could only be unlinked).
+	Quarantined int64
+	// QuarantineEvictions counts quarantined files deleted to enforce
+	// MaxQuarantine/MaxQuarantineBytes.
+	QuarantineEvictions int64
 	// Entries and Bytes are point-in-time gauges of the live set.
 	Entries int
 	Bytes   int64
+	// QuarantineEntries and QuarantineBytes are point-in-time gauges of
+	// the quarantine directory.
+	QuarantineEntries int
+	QuarantineBytes   int64
 }
 
 // Store is a crash-safe, content-addressed artifact store. All methods
 // are safe for concurrent use.
 type Store struct {
-	dir string
-	fs  FS
-	max int64
+	dir       string
+	fs        FS
+	max       int64
+	qMax      int   // quarantine file-count cap (0 = unbounded)
+	qMaxBytes int64 // quarantine byte cap (0 = unbounded)
 
 	mu      sync.Mutex
 	entries map[string]*list.Element // key → *storeEntry element
 	lru     *list.List               // front = most recently used
 	bytes   int64
+	quar    []quarEntry // oldest first
+	qBytes  int64
 	stats   Stats
 }
 
 type storeEntry struct {
 	key   string
+	bytes int64
+}
+
+type quarEntry struct {
+	name  string
 	bytes int64
 }
 
@@ -84,12 +111,26 @@ func Open(dir string, opts Options) (*Store, error) {
 	if fs == nil {
 		fs = OSFS{}
 	}
+	qMax := opts.MaxQuarantine
+	if qMax == 0 {
+		qMax = 64
+	} else if qMax < 0 {
+		qMax = 0
+	}
+	qMaxBytes := opts.MaxQuarantineBytes
+	if qMaxBytes == 0 {
+		qMaxBytes = 64 << 20
+	} else if qMaxBytes < 0 {
+		qMaxBytes = 0
+	}
 	s := &Store{
-		dir:     dir,
-		fs:      fs,
-		max:     opts.MaxBytes,
-		entries: map[string]*list.Element{},
-		lru:     list.New(),
+		dir:       dir,
+		fs:        fs,
+		max:       opts.MaxBytes,
+		qMax:      qMax,
+		qMaxBytes: qMaxBytes,
+		entries:   map[string]*list.Element{},
+		lru:       list.New(),
 	}
 	for _, sub := range []string{objectsDir, quarantineDir, tmpDir} {
 		if err := fs.MkdirAll(join(dir, sub)); err != nil {
@@ -120,7 +161,34 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.entries[key] = el
 		s.bytes += fi.Size
 	}
+	// Rebuild the quarantine index too, so corpses from previous lives
+	// count toward the cap instead of accumulating forever.
+	if qinfos, err := fs.ReadDir(join(dir, quarantineDir)); err == nil {
+		sort.Slice(qinfos, func(i, j int) bool { return qinfos[i].ModTime.Before(qinfos[j].ModTime) })
+		for _, fi := range qinfos {
+			if key, ok := strings.CutSuffix(fi.Name, ".bad"); !ok || !validKey(key) {
+				continue // not ours; leave it alone
+			}
+			s.quar = append(s.quar, quarEntry{name: fi.Name, bytes: fi.Size})
+			s.qBytes += fi.Size
+		}
+		s.enforceQuarantineBoundLocked()
+	}
 	return s, nil
+}
+
+// enforceQuarantineBoundLocked deletes the oldest quarantined files
+// until both caps hold. Post-mortem value decays with age; disk space
+// does not come back on its own.
+func (s *Store) enforceQuarantineBoundLocked() {
+	for len(s.quar) > 0 &&
+		((s.qMax > 0 && len(s.quar) > s.qMax) || (s.qMaxBytes > 0 && s.qBytes > s.qMaxBytes)) {
+		oldest := s.quar[0]
+		s.quar = s.quar[1:]
+		s.qBytes -= oldest.bytes
+		s.fs.Remove(join(s.dir, quarantineDir, oldest.name))
+		s.stats.QuarantineEvictions++
+	}
 }
 
 // validKey reports whether key is safe to use as a filename: the
@@ -180,9 +248,23 @@ func (s *Store) quarantineLocked(el *list.Element, path string) {
 	e := el.Value.(*storeEntry)
 	s.removeLocked(el)
 	s.stats.Corrupt++
-	if err := s.fs.Rename(path, join(s.dir, quarantineDir, e.key+".bad")); err != nil {
+	name := e.key + ".bad"
+	if err := s.fs.Rename(path, join(s.dir, quarantineDir, name)); err != nil {
 		s.fs.Remove(path) // quarantine dir unusable; at least unlink it
+		return
 	}
+	s.stats.Quarantined++
+	// A re-quarantined key replaces its older corpse in the accounting.
+	for i, q := range s.quar {
+		if q.name == name {
+			s.qBytes -= q.bytes
+			s.quar = append(s.quar[:i], s.quar[i+1:]...)
+			break
+		}
+	}
+	s.quar = append(s.quar, quarEntry{name: name, bytes: e.bytes})
+	s.qBytes += e.bytes
+	s.enforceQuarantineBoundLocked()
 }
 
 // Put durably persists body under key (atomic temp-write + rename) and
@@ -254,5 +336,7 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.Entries = s.lru.Len()
 	st.Bytes = s.bytes
+	st.QuarantineEntries = len(s.quar)
+	st.QuarantineBytes = s.qBytes
 	return st
 }

@@ -137,6 +137,114 @@ func TestStoreQuarantinesCorruptRecords(t *testing.T) {
 	}
 }
 
+// corruptOnDisk flips a byte of key's on-disk record behind the store's
+// back, so the next Get quarantines it.
+func corruptOnDisk(t *testing.T, dir string, key string) {
+	t.Helper()
+	path := filepath.Join(dir, objectsDir, key+recordSuffix)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuarantineBoundedByCount(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxQuarantine: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		key := testKey(i)
+		if err := s.Put(key, "t", []byte("artifact")); err != nil {
+			t.Fatal(err)
+		}
+		corruptOnDisk(t, dir, key)
+		if _, _, ok := s.Get(key); ok {
+			t.Fatalf("corrupt record %d served", i)
+		}
+		time.Sleep(2 * time.Millisecond) // distinct mtimes for reopen ordering
+	}
+	bad, err := filepath.Glob(filepath.Join(dir, quarantineDir, "*.bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 2 {
+		t.Fatalf("quarantine holds %d files, want cap 2: %v", len(bad), bad)
+	}
+	// The survivors are the newest corpses.
+	for _, i := range []int{3, 4} {
+		if _, err := os.Stat(filepath.Join(dir, quarantineDir, testKey(i)+".bad")); err != nil {
+			t.Errorf("newest corpse %d evicted: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Quarantined != 5 || st.QuarantineEvictions != 3 || st.QuarantineEntries != 2 {
+		t.Errorf("stats = %+v, want 5 quarantined, 3 evictions, 2 entries", st)
+	}
+}
+
+func TestQuarantineBoundedByBytes(t *testing.T) {
+	dir := t.TempDir()
+	recSize := int64(len((&Record{Key: testKey(0), ContentType: "t", Body: []byte("0123456789")}).Encode()))
+	s, err := Open(dir, Options{MaxQuarantineBytes: 2 * recSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		key := testKey(i)
+		if err := s.Put(key, "t", []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+		corruptOnDisk(t, dir, key)
+		s.Get(key)
+	}
+	st := s.Stats()
+	if st.QuarantineBytes > 2*recSize {
+		t.Errorf("quarantine bytes = %d exceeds cap %d", st.QuarantineBytes, 2*recSize)
+	}
+	if st.QuarantineEvictions == 0 {
+		t.Error("byte cap exceeded without evictions")
+	}
+}
+
+func TestQuarantineBoundSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{MaxQuarantine: -1}) // unbounded first life
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		key := testKey(i)
+		if err := s1.Put(key, "t", []byte("artifact")); err != nil {
+			t.Fatal(err)
+		}
+		corruptOnDisk(t, dir, key)
+		s1.Get(key)
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Second life with a cap: the accumulated corpses are re-indexed and
+	// trimmed down to the bound on Open.
+	s2, err := Open(dir, Options{MaxQuarantine: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := filepath.Glob(filepath.Join(dir, quarantineDir, "*.bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 {
+		t.Fatalf("quarantine holds %d files after capped reopen, want 1", len(bad))
+	}
+	if st := s2.Stats(); st.QuarantineEntries != 1 || st.QuarantineEvictions != 3 {
+		t.Errorf("stats after reopen = %+v, want 1 entry, 3 evictions", st)
+	}
+}
+
 func TestStoreIgnoresForeignFiles(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {

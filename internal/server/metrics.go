@@ -184,8 +184,12 @@ func (m *metrics) writePrometheus(w io.Writer, g gauges) {
 		counter("deadmemd_persist_corrupt_total", "Records that failed validation on read and were quarantined.", p.Corrupt)
 		counter("deadmemd_persist_served_corrupt_total", "Corrupt records served to a client (MUST be zero).", p.ServedCorrupt)
 		counter("deadmemd_persist_evictions_total", "Records evicted to enforce the on-disk byte bound.", p.Evictions)
+		counter("deadmemd_persist_quarantined_total", "Corrupt records moved into quarantine/ for post-mortem.", p.Quarantined)
+		counter("deadmemd_persist_quarantine_evictions_total", "Quarantined files deleted to enforce the quarantine bound.", p.QuarantineEvictions)
 		gauge("deadmemd_persist_entries", "Records currently on disk.", int64(p.Entries))
 		gauge("deadmemd_persist_bytes", "Encoded bytes currently on disk.", p.Bytes)
+		gauge("deadmemd_persist_quarantine_entries", "Files currently in quarantine.", int64(p.QuarantineEntries))
+		gauge("deadmemd_persist_quarantine_bytes", "Bytes currently in quarantine.", p.QuarantineBytes)
 	}
 
 	if g.Chaos != nil {

@@ -3,13 +3,10 @@ package server
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"mime"
 	"net/http"
-	"strconv"
 	"strings"
 
 	"deadmembers/internal/api"
@@ -51,15 +48,8 @@ type bundle struct {
 }
 
 
-// parseRequest decodes a request in either transport:
-//
-//   - Content-Type application/json: a jsonRequest bundle (any number of
-//     files, full option set);
-//   - anything else: the raw body is one source file, named by the ?file=
-//     query parameter, with options passed as query parameters named after
-//     the CLI flags (callgraph, sizeof, no-delete-rule, trust-downcasts,
-//     writes-are-uses, library, v, classes, unreachable, format, budget,
-//     keep-unreachable).
+// parseRequest decodes a request in either transport (see api.FromHTTP
+// for the two wire forms) and validates it into a bundle.
 //
 // The caller must have wrapped r.Body in http.MaxBytesReader; an
 // over-limit body surfaces here as a 413.
@@ -73,21 +63,16 @@ func parseRequest(r *http.Request) (*bundle, *httpError) {
 		}
 		return nil, badRequest("reading body: %v", err)
 	}
-
-	ct := r.Header.Get("Content-Type")
-	if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == "application/json" {
-		return parseJSONRequest(body)
+	req, err := api.FromHTTP(r, body)
+	if err != nil {
+		return nil, badRequest("%v", err)
 	}
-	return parseRawRequest(r, body)
+	return bundleFromAPI(req)
 }
 
-func parseJSONRequest(body []byte) (*bundle, *httpError) {
-	dec := json.NewDecoder(strings.NewReader(string(body)))
-	dec.DisallowUnknownFields()
-	var req api.Request
-	if err := dec.Decode(&req); err != nil {
-		return nil, badRequest("invalid JSON body: %v", err)
-	}
+// bundleFromAPI validates a wire request into the internal option set,
+// with the same defaults as the CLIs.
+func bundleFromAPI(req *api.Request) (*bundle, *httpError) {
 	if len(req.Sources) == 0 {
 		return nil, badRequest("no sources in request")
 	}
@@ -97,6 +82,9 @@ func parseJSONRequest(body []byte) (*bundle, *httpError) {
 		unreachable:     req.Unreachable,
 		budget:          req.Budget,
 		keepUnreachable: req.KeepUnreachable,
+	}
+	if req.Budget < 0 {
+		return nil, badRequest("invalid budget=%d", req.Budget)
 	}
 	seen := map[string]bool{}
 	for i, s := range req.Sources {
@@ -114,66 +102,6 @@ func parseJSONRequest(body []byte) (*bundle, *httpError) {
 		return nil, herr
 	}
 	if b.format, herr = decodeFormat(req.Format); herr != nil {
-		return nil, herr
-	}
-	return b, nil
-}
-
-func parseRawRequest(r *http.Request, body []byte) (*bundle, *httpError) {
-	q := r.URL.Query()
-	name := q.Get("file")
-	if name == "" {
-		name = "input.mcc"
-	}
-	b := &bundle{
-		sources: []engine.Source{{Name: name, Text: string(body)}},
-	}
-	boolParam := func(key string) (bool, *httpError) {
-		v := q.Get(key)
-		if v == "" {
-			return false, nil
-		}
-		on, err := strconv.ParseBool(v)
-		if err != nil {
-			return false, badRequest("invalid %s=%q", key, v)
-		}
-		return on, nil
-	}
-	var herr *httpError
-	opts := api.Options{
-		CallGraph: q.Get("callgraph"),
-		Sizeof:    q.Get("sizeof"),
-	}
-	if lib := q.Get("library"); lib != "" {
-		opts.Library = strings.Split(lib, ",")
-	}
-	for _, p := range []struct {
-		key  string
-		dest *bool
-	}{
-		{"no-delete-rule", &opts.NoDeleteRule},
-		{"trust-downcasts", &opts.TrustDowncasts},
-		{"writes-are-uses", &opts.WritesAreUses},
-		{"v", &b.verbose},
-		{"classes", &b.classes},
-		{"unreachable", &b.unreachable},
-		{"keep-unreachable", &b.keepUnreachable},
-	} {
-		if *p.dest, herr = boolParam(p.key); herr != nil {
-			return nil, herr
-		}
-	}
-	if v := q.Get("budget"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			return nil, badRequest("invalid budget=%q", v)
-		}
-		b.budget = n
-	}
-	if b.opts, herr = decodeOptions(opts); herr != nil {
-		return nil, herr
-	}
-	if b.format, herr = decodeFormat(q.Get("format")); herr != nil {
 		return nil, herr
 	}
 	return b, nil

@@ -1,0 +1,242 @@
+// Command fleetsmoke drives a running deadmemd fleet through a
+// /v1/batch scatter-gather and verifies the partial-result contract
+// end to end — optionally SIGKILLing a worker process mid-stream:
+//
+//   - the stream must carry exactly one result per unit plus a summary
+//     whose counts add up, kill or no kill;
+//   - every successful body must be byte-identical to its ground-truth
+//     file (the corresponding CLI's stdout);
+//   - units that carried failure records must eventually succeed when
+//     retried through the coordinator's plain endpoints, byte-identical
+//     again — the fleet absorbs the death, it does not lose work.
+//
+// It is the verification half of scripts/smoke_fleet.sh and exits
+// nonzero on any violated invariant.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"deadmembers/internal/api"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type unitSpec struct {
+	id       string
+	endpoint string
+	want     string // ground-truth body
+	req      *api.Request
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fleetsmoke", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		coordinator  = fs.String("coordinator", "http://127.0.0.1:8330", "coordinator base URL")
+		files        = fs.String("files", "", "comma-separated source files to batch (required)")
+		endpoints    = fs.String("endpoints", "analyze,lint,strip", "comma-separated endpoints to run per file")
+		truthDir     = fs.String("truth-dir", "", "directory of ground-truth files named <base>.<endpoint> (required)")
+		killPid      = fs.Int("kill-pid", 0, "worker PID to SIGKILL mid-batch (0 = no kill)")
+		killAfter    = fs.Int("kill-after", 1, "number of streamed unit results to wait for before the kill")
+		retryTimeout = fs.Duration("retry-timeout", 30*time.Second, "deadline for failed units to eventually succeed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *files == "" || *truthDir == "" {
+		fmt.Fprintln(stderr, "fleetsmoke: -files and -truth-dir are required")
+		return 2
+	}
+
+	var units []unitSpec
+	var breq api.BatchRequest
+	for _, f := range strings.Split(*files, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		text, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetsmoke: %v\n", err)
+			return 1
+		}
+		base := strings.TrimSuffix(filepath.Base(f), filepath.Ext(f))
+		for _, ep := range strings.Split(*endpoints, ",") {
+			ep = strings.TrimSpace(ep)
+			want, err := os.ReadFile(filepath.Join(*truthDir, base+"."+ep))
+			if err != nil {
+				fmt.Fprintf(stderr, "fleetsmoke: missing ground truth: %v\n", err)
+				return 1
+			}
+			u := unitSpec{
+				id:       base + "/" + ep,
+				endpoint: ep,
+				want:     string(want),
+				// The source name is the path exactly as the CLI saw it,
+				// so rendered findings are byte-identical to its stdout.
+				req: &api.Request{Sources: []api.Source{{Name: f, Text: string(text)}}},
+			}
+			units = append(units, u)
+			breq.Units = append(breq.Units, api.BatchUnit{ID: u.id, Endpoint: ep, Request: *u.req})
+		}
+	}
+	if len(units) == 0 {
+		fmt.Fprintln(stderr, "fleetsmoke: no units to run")
+		return 2
+	}
+	byID := map[string]unitSpec{}
+	for _, u := range units {
+		byID[u.id] = u
+	}
+
+	payload, err := json.Marshal(breq)
+	if err != nil {
+		fmt.Fprintf(stderr, "fleetsmoke: %v\n", err)
+		return 1
+	}
+	resp, err := http.Post(*coordinator+"/v1/batch", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		fmt.Fprintf(stderr, "fleetsmoke: batch: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Fprintf(stderr, "fleetsmoke: batch status %d: %s\n", resp.StatusCode, body)
+		return 1
+	}
+
+	// Stream the results, killing the victim worker once enough units
+	// have landed that the death is unambiguously mid-batch.
+	results := map[string]api.BatchUnitResult{}
+	var summary *api.BatchSummary
+	killed := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev api.BatchEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			fmt.Fprintf(stderr, "fleetsmoke: bad stream line %q: %v\n", sc.Text(), err)
+			return 1
+		}
+		switch {
+		case ev.Unit != nil:
+			if _, dup := results[ev.Unit.ID]; dup {
+				fmt.Fprintf(stderr, "fleetsmoke: unit %s reported twice\n", ev.Unit.ID)
+				return 1
+			}
+			results[ev.Unit.ID] = *ev.Unit
+			if *killPid != 0 && !killed && len(results) >= *killAfter {
+				killed = true
+				if err := syscall.Kill(*killPid, syscall.SIGKILL); err != nil {
+					fmt.Fprintf(stderr, "fleetsmoke: kill %d: %v\n", *killPid, err)
+					return 1
+				}
+				fmt.Fprintf(stdout, "fleetsmoke: SIGKILLed worker pid %d after %d results\n", *killPid, len(results))
+			}
+		case ev.Summary != nil:
+			summary = ev.Summary
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(stderr, "fleetsmoke: reading stream: %v\n", err)
+		return 1
+	}
+	if *killPid != 0 && !killed {
+		fmt.Fprintln(stderr, "fleetsmoke: batch ended before the kill could land; nothing was proven")
+		return 1
+	}
+
+	// No request lost, no silent outcomes.
+	if summary == nil {
+		fmt.Fprintln(stderr, "fleetsmoke: stream ended without a summary")
+		return 1
+	}
+	if summary.Units != len(units) || len(results) != len(units) {
+		fmt.Fprintf(stderr, "fleetsmoke: %d units sent, %d results, summary %+v\n", len(units), len(results), summary)
+		return 1
+	}
+	if summary.OK+summary.Failed != summary.Units {
+		fmt.Fprintf(stderr, "fleetsmoke: summary does not add up: %+v\n", summary)
+		return 1
+	}
+
+	var failed []string
+	for _, u := range units {
+		r, ok := results[u.id]
+		if !ok {
+			fmt.Fprintf(stderr, "fleetsmoke: unit %s lost (no result)\n", u.id)
+			return 1
+		}
+		if !r.OK {
+			if r.Status == 0 || r.Error == "" {
+				fmt.Fprintf(stderr, "fleetsmoke: unit %s failed without an explicit record: %+v\n", u.id, r)
+				return 1
+			}
+			failed = append(failed, u.id)
+			continue
+		}
+		if r.Body != u.want {
+			fmt.Fprintf(stderr, "fleetsmoke: unit %s served bytes differ from CLI ground truth\n", u.id)
+			return 1
+		}
+	}
+
+	// Failed units must eventually succeed through the survivors.
+	deadline := time.Now().Add(*retryTimeout)
+	for _, id := range failed {
+		u := byID[id]
+		for {
+			if time.Now().After(deadline) {
+				fmt.Fprintf(stderr, "fleetsmoke: unit %s never succeeded within %v\n", id, *retryTimeout)
+				return 1
+			}
+			body, ok := postOne(*coordinator, u.endpoint, u.req)
+			if ok {
+				if body != u.want {
+					fmt.Fprintf(stderr, "fleetsmoke: unit %s retry served bytes differ from ground truth\n", id)
+					return 1
+				}
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	fmt.Fprintf(stdout, "fleetsmoke: OK (%d units; first pass ok=%d failed=%d; all failures recovered byte-identical)\n",
+		summary.Units, summary.OK, summary.Failed)
+	return 0
+}
+
+// postOne retries a single unit through the coordinator's plain /v1
+// endpoint; a false return is data for the caller's retry loop.
+func postOne(base, endpoint string, req *api.Request) (string, bool) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return "", false
+	}
+	resp, err := http.Post(base+"/v1/"+endpoint, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return "", false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return "", false
+	}
+	return string(body), true
+}

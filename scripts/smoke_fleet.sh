@@ -1,0 +1,107 @@
+#!/bin/sh
+# smoke_fleet.sh — fleet-mode proof for the coordinator: start three
+# deadmemd workers and a coordinator in front of them, scatter-gather
+# the example corpus through /v1/batch, SIGKILL one worker mid-batch,
+# and verify (via scripts/fleetsmoke) that no unit is lost, every unit
+# eventually succeeds byte-identical to the local CLIs' stdout, and the
+# coordinator's ejection counter observed the death.
+set -eu
+
+GO=${GO:-go}
+BIN=${BIN:-bin}
+COORD_ADDR=${COORD_ADDR:-127.0.0.1:8330}
+W1_ADDR=${W1_ADDR:-127.0.0.1:8331}
+W2_ADDR=${W2_ADDR:-127.0.0.1:8332}
+W3_ADDR=${W3_ADDR:-127.0.0.1:8333}
+
+$GO build -o "$BIN/deadmem" ./cmd/deadmem
+$GO build -o "$BIN/deadlint" ./cmd/deadlint
+$GO build -o "$BIN/deadstrip" ./cmd/deadstrip
+$GO build -o "$BIN/deadmemd" ./cmd/deadmemd
+$GO build -o "$BIN/fleetsmoke" ./scripts/fleetsmoke
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do
+        kill "$p" 2>/dev/null || true
+    done
+    for p in $pids; do
+        wait "$p" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "smoke-fleet: $1 never became healthy" >&2
+    cat "$tmp"/*.log >&2
+    exit 1
+}
+
+# Three shared-nothing workers...
+"$BIN/deadmemd" -addr "$W1_ADDR" >"$tmp/w1.log" 2>&1 &
+w1=$!
+"$BIN/deadmemd" -addr "$W2_ADDR" >"$tmp/w2.log" 2>&1 &
+w2=$!
+"$BIN/deadmemd" -addr "$W3_ADDR" >"$tmp/w3.log" 2>&1 &
+w3=$!
+pids="$w1 $w2 $w3"
+wait_healthy "$W1_ADDR"
+wait_healthy "$W2_ADDR"
+wait_healthy "$W3_ADDR"
+
+# ...and a coordinator routing across them. -batch-concurrency 1
+# serializes the batch so the mid-batch kill provably lands mid-batch;
+# a short health interval keeps the ejection observable quickly.
+"$BIN/deadmemd" -coordinator \
+    -workers "http://$W1_ADDR,http://$W2_ADDR,http://$W3_ADDR" \
+    -addr "$COORD_ADDR" -health-interval 200ms -health-fails 2 \
+    -batch-concurrency 1 >"$tmp/coord.log" 2>&1 &
+coord=$!
+pids="$pids $coord"
+wait_healthy "$COORD_ADDR"
+
+# Ground truth: the CLIs' stdout for every unit the batch will run.
+mkdir -p "$tmp/truth"
+files=""
+for f in examples/mcc/*.mcc; do
+    base=$(basename "$f" .mcc)
+    "$BIN/deadmem" "$f" >"$tmp/truth/$base.analyze"
+    "$BIN/deadlint" "$f" >"$tmp/truth/$base.lint"
+    "$BIN/deadstrip" "$f" >"$tmp/truth/$base.strip" 2>/dev/null
+    files="$files${files:+,}$f"
+done
+
+# Scatter-gather the corpus, killing worker 2 after the first streamed
+# result; fleetsmoke verifies the partial-result and byte-identity
+# invariants and retries the stranded units through the survivors.
+"$BIN/fleetsmoke" -coordinator "http://$COORD_ADDR" \
+    -files "$files" -truth-dir "$tmp/truth" \
+    -kill-pid "$w2" -kill-after 1
+
+# The coordinator must have noticed: the dead worker ejected from
+# routing, and the fleet still ready on the survivors.
+ok=""
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$COORD_ADDR/metrics" >"$tmp/metrics" 2>/dev/null &&
+        awk '$1 == "deadmemd_fleet_ejections_total" && $2 >= 1 { found = 1 } END { exit !found }' "$tmp/metrics" 2>/dev/null; then
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$ok" ]; then
+    echo "smoke-fleet: coordinator never ejected the killed worker" >&2
+    cat "$tmp/metrics" >&2
+    exit 1
+fi
+curl -fsS "http://$COORD_ADDR/readyz" >/dev/null
+
+echo "smoke-fleet: OK (batch survived a mid-batch SIGKILL; no unit lost, all byte-identical, ejection observed)"
