@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race race-server bench fuzz serve smoke-server smoke-restart smoke-fleet chaos-smoke ci
+.PHONY: build vet fmt-check lint test race race-server bench fuzz serve smoke-server smoke-restart smoke-fleet smoke-precision chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,17 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Formatting gate: gofmt must be a no-op over the tree. staticcheck is
+# unavailable offline, so the static gate is go vet + this.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # deadlint smoke over the example programs. Each example is a complete
 # program with its own main(), so they are linted one file at a time.
 # deadlint exits 0 even when it reports findings; only compile errors,
 # degraded runs, and usage mistakes fail the target.
-lint: vet
+lint: vet fmt-check
 	$(GO) build -o bin/deadlint ./cmd/deadlint
 	for f in examples/mcc/*.mcc; do bin/deadlint $$f || exit 1; done
 
@@ -52,6 +58,12 @@ smoke-restart:
 smoke-fleet:
 	sh scripts/smoke_fleet.sh
 
+# Precision smoke: paperbench -precision -timings (the frontier sweeps
+# all three liveness tiers in one session), then deadlint at each tier
+# over the chained example asserting paper <= flow <= heap monotonicity.
+smoke-precision:
+	sh scripts/smoke_precision.sh
+
 # Chaos soaks under the race detector: faulty disk + faulty network,
 # abrupt in-test kill and restart, byte-identity and zero-lost-work
 # asserted throughout (see internal/server/chaos_soak_test.go and
@@ -73,4 +85,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzCFG -fuzztime=$(FUZZTIME) .
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build vet race race-server lint smoke-server smoke-restart smoke-fleet chaos-smoke
+ci: build vet race race-server lint smoke-server smoke-restart smoke-fleet smoke-precision chaos-smoke

@@ -28,6 +28,7 @@ import (
 	"deadmembers/internal/client"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/engine"
+	"deadmembers/internal/heaplive"
 	"deadmembers/internal/lint"
 )
 
@@ -49,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		timeout        = fs.Duration("timeout", 0, "abort the run after this duration (e.g. 30s; 0 = no limit)")
 		parallel       = fs.Int("parallel", 0, "worker count for the parse, liveness, and lint stages (0 = all cores, 1 = sequential)")
 		budget         = fs.Int("budget", 0, "dataflow solver step budget per function (0 = automatic)")
+		precisionFlag  = fs.String("precision", "flow", "liveness tier: paper (flow-insensitive only), flow, or heap (access-graph chained paths)")
 		callgraphMode  = fs.String("callgraph", "rta", "call graph construction: rta, cha, or all")
 		libraries      = fs.String("library", "", "comma-separated class names treated as library classes")
 		trustDowncasts = fs.Bool("trust-downcasts", false, "treat all downcasts as verified safe")
@@ -73,6 +75,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	case "text", "json", "sarif":
 	default:
 		fmt.Fprintf(stderr, "deadlint: unknown -format %q\n", *format)
+		return 2
+	}
+	precision, err := heaplive.ParsePrecision(*precisionFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "deadlint: %v\n", err)
 		return 2
 	}
 
@@ -118,8 +125,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				TrustDowncasts: *trustDowncasts,
 				Library:        opts.LibraryClasses,
 			},
-			Format: *format,
-			Budget: *budget,
+			Format:    *format,
+			Budget:    *budget,
+			Precision: precision.String(),
 		}
 		for _, s := range sources {
 			req.Sources = append(req.Sources, api.Source{Name: s.Name, Text: s.Text})
@@ -149,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stderr, "deadlint: %v\n", err)
 		return 1
 	}
-	res, timings, err := comp.LintContext(ctx, opts, lint.Options{Budget: *budget})
+	res, timings, err := comp.LintContext(ctx, opts, lint.Options{Budget: *budget, Precision: precision})
 	if err != nil {
 		fmt.Fprintf(stderr, "deadlint: %v\n", err)
 		return 1

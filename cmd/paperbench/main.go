@@ -7,6 +7,7 @@
 //	paperbench -table1         # just Table 1
 //	paperbench -figure3 -figure4
 //	paperbench -ablation       # the design-choice ablations
+//	paperbench -precision      # precision/cost frontier across liveness tiers
 //	paperbench -timings        # per-stage engine wall-clock timings
 //	paperbench -parallel 8     # bound the engine's worker pool
 //	paperbench -csv            # machine-readable results
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		figure4     = fs.Bool("figure4", false, "dynamic percentages (paper Figure 4)")
 		summary     = fs.Bool("summary", false, "headline numbers vs the paper's abstract")
 		ablation    = fs.Bool("ablation", false, "analysis-variant ablations")
+		precision   = fs.Bool("precision", false, "precision/cost frontier: lint findings and wall clock per liveness tier (paper/flow/heap)")
 		timings     = fs.Bool("timings", false, "per-stage engine wall-clock timings and session cache counters")
 		csvOut      = fs.Bool("csv", false, "machine-readable measured results")
 		parallel    = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
@@ -77,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 0
 	}
 
-	all := !*table1 && !*figure3 && !*table2 && !*figure4 && !*summary && !*ablation && !*timings && !*csvOut
+	all := !*table1 && !*figure3 && !*table2 && !*figure4 && !*summary && !*ablation && !*precision && !*timings && !*csvOut
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -118,6 +120,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			return 1
 		}
 		fmt.Fprintln(stdout, report.AblationTable(rows))
+	}
+	// Like -timings, the frontier carries wall-clock columns, so it is
+	// opt-in only: the default exhibit set stays byte-identical across
+	// runs and worker counts.
+	if *precision {
+		fmt.Fprintln(stdout, report.PrecisionTable(results))
 	}
 	if *timings {
 		fmt.Fprintln(stdout, report.TimingsTable(results, session.Stats()))

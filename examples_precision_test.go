@@ -1,0 +1,134 @@
+package deadmembers_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"deadmembers"
+)
+
+// The examples double as the precision-tier golden corpus: each file is
+// linted at every tier and the rendered findings are held to the golden
+// sets below, plus the structural guarantee paper ⊆ flow ⊆ heap.
+
+func lintExample(t *testing.T, name string, p deadmembers.Precision) []string {
+	t.Helper()
+	path := filepath.Join("examples", "mcc", name)
+	text, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := deadmembers.Compile(deadmembers.Source{Name: name, Text: string(text)})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	res := comp.Lint(deadmembers.Options{}, deadmembers.LintOptions{Precision: p})
+	if res.Degraded() {
+		t.Fatalf("%s at %s: degraded: %v", name, p, res.Failures)
+	}
+	var out []string
+	for _, f := range res.Findings {
+		out = append(out, fmt.Sprintf("%d:%d %s %s", f.Line, f.Col, f.Check, f.Member))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestExamplesPrecisionGolden(t *testing.T) {
+	// Golden findings per tier, rendered as "line:col check member".
+	golden := map[string]map[deadmembers.Precision][]string{
+		"clean.mcc": {
+			deadmembers.PrecisionPaper: nil,
+			deadmembers.PrecisionFlow:  nil,
+			deadmembers.PrecisionHeap:  nil,
+		},
+		"writeonly.mcc": {
+			deadmembers.PrecisionPaper: {
+				"10:9 write-only-member Cache::hits",
+				"7:25 write-only-member Cache::hits",
+			},
+			deadmembers.PrecisionFlow: {
+				"10:9 write-only-member Cache::hits",
+				"7:25 write-only-member Cache::hits",
+			},
+			deadmembers.PrecisionHeap: {
+				"10:9 write-only-member Cache::hits",
+				"7:25 write-only-member Cache::hits",
+			},
+		},
+		"overwrite.mcc": {
+			deadmembers.PrecisionPaper: nil,
+			deadmembers.PrecisionFlow:  {"10:9 dead-store Connection::timeout"},
+			deadmembers.PrecisionHeap:  {"10:9 dead-store Connection::timeout"},
+		},
+		"chained.mcc": {
+			deadmembers.PrecisionPaper: {"10:23 write-only-member Inner::pad"},
+			deadmembers.PrecisionFlow:  {"10:23 write-only-member Inner::pad"},
+			deadmembers.PrecisionHeap: {
+				"10:23 write-only-member Inner::pad",
+				"22:9 dead-store Inner::val",
+			},
+		},
+	}
+
+	entries, err := os.ReadDir(filepath.Join("examples", "mcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("%s: no golden entry; add one per tier", name)
+			continue
+		}
+		for p, wantFindings := range want {
+			got := lintExample(t, name, p)
+			if !reflect.DeepEqual(got, wantFindings) {
+				t.Errorf("%s at -precision=%s:\n got  %v\n want %v", name, p, got, wantFindings)
+			}
+		}
+	}
+}
+
+// TestExamplesPrecisionMonotone asserts the structural tier guarantee
+// over every example: each tier's findings are a superset of the tier
+// below (paper ⊆ flow ⊆ heap), independent of the golden sets.
+func TestExamplesPrecisionMonotone(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("examples", "mcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictSomewhere := false
+	for _, e := range entries {
+		name := e.Name()
+		paper := lintExample(t, name, deadmembers.PrecisionPaper)
+		flow := lintExample(t, name, deadmembers.PrecisionFlow)
+		heap := lintExample(t, name, deadmembers.PrecisionHeap)
+		assertSubsetOf(t, name, "paper", paper, "flow", flow)
+		assertSubsetOf(t, name, "flow", flow, "heap", heap)
+		if len(heap) > len(paper) {
+			strictSomewhere = true
+		}
+	}
+	if !strictSomewhere {
+		t.Error("heap tier should find strictly more than paper on at least one example")
+	}
+}
+
+func assertSubsetOf(t *testing.T, file, lo string, small []string, hi string, big []string) {
+	t.Helper()
+	set := map[string]bool{}
+	for _, f := range big {
+		set[f] = true
+	}
+	for _, f := range small {
+		if !set[f] {
+			t.Errorf("%s: %s finding %q missing from %s tier", file, lo, f, hi)
+		}
+	}
+}

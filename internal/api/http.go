@@ -19,7 +19,7 @@ import (
 //     ?file= query parameter, with options passed as query parameters
 //     named after the CLI flags (callgraph, sizeof, no-delete-rule,
 //     trust-downcasts, writes-are-uses, library, v, classes,
-//     unreachable, format, budget, keep-unreachable).
+//     unreachable, format, budget, precision, keep-unreachable).
 //
 // Semantic validation (option values, duplicate names) is the caller's
 // job; FromHTTP only normalizes the transport.
@@ -49,7 +49,8 @@ func fromRawHTTP(r *http.Request, body []byte) (*Request, error) {
 			CallGraph: q.Get("callgraph"),
 			Sizeof:    q.Get("sizeof"),
 		},
-		Format: q.Get("format"),
+		Format:    q.Get("format"),
+		Precision: q.Get("precision"),
 	}
 	if lib := q.Get("library"); lib != "" {
 		req.Options.Library = strings.Split(lib, ",")

@@ -127,6 +127,11 @@ type Problem struct {
 	// the solve with the context's error.
 	Ctx context.Context
 
+	// Unit names the analyzed unit (typically the function's qualified
+	// name) so a budget overrun identifies which function exhausted the
+	// budget in the resulting Failure/degraded record.
+	Unit string
+
 	Dir Direction
 }
 
@@ -205,8 +210,12 @@ func Solve(p Problem) (*Solution, error) {
 	gather := NewBitSet(p.Bits)
 	for len(queue) > 0 {
 		if sol.Steps >= budget {
-			return sol, fmt.Errorf("%w after %d steps (budget %d, %d blocks, %d bits)",
-				ErrBudget, sol.Steps, budget, n, p.Bits)
+			unit := p.Unit
+			if unit == "" {
+				unit = "<unnamed>"
+			}
+			return sol, fmt.Errorf("%w in %s after %d steps (budget %d, %d blocks, %d bits)",
+				ErrBudget, unit, sol.Steps, budget, n, p.Bits)
 		}
 		if p.Ctx != nil && sol.Steps%128 == 0 && p.Ctx.Err() != nil {
 			return sol, p.Ctx.Err()

@@ -3,6 +3,7 @@ package dataflow
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -169,6 +170,37 @@ func TestSolveBudget(t *testing.T) {
 	p.Budget = 0
 	if _, err := Solve(p); err != nil {
 		t.Fatalf("default budget failed: %v", err)
+	}
+}
+
+// TestSolveBudgetNamesUnit pins the exhaustion-path contract: the error
+// names the unit that hit the budget (so lint Failure records identify
+// the function), falls back to a placeholder when unnamed, and still
+// returns the partial solution.
+func TestSolveBudgetNamesUnit(t *testing.T) {
+	p := Problem{
+		NumBlocks: 3,
+		Succs:     [][]int{{1}, {2}, {}},
+		Bits:      1,
+		Gen:       []BitSet{nil, nil, bits(0)(1)},
+		Budget:    1,
+		Unit:      "Widget::resize",
+		Dir:       Backward,
+	}
+	sol, err := Solve(p)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if sol == nil || sol.Steps != 1 {
+		t.Fatalf("partial solution missing or wrong steps: %+v", sol)
+	}
+	if !strings.Contains(err.Error(), "Widget::resize") {
+		t.Fatalf("budget error does not name the unit: %q", err)
+	}
+	p.Unit = ""
+	_, err = Solve(p)
+	if !errors.Is(err, ErrBudget) || !strings.Contains(err.Error(), "<unnamed>") {
+		t.Fatalf("unnamed overrun missing placeholder: %v", err)
 	}
 }
 

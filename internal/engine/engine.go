@@ -24,6 +24,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -88,6 +89,10 @@ type Timings struct {
 	Lint      time.Duration // flow-sensitive pass; zero unless Lint ran
 
 	CallGraphCached bool
+	// LintCached reports that the lint result came from the
+	// per-compilation cache (Lint is zero then); the cache key includes
+	// the precision tier, so tiers never collide.
+	LintCached bool
 }
 
 // Add accumulates other into t (for corpus-wide summaries).
@@ -132,6 +137,14 @@ type Compilation struct {
 
 	mu     sync.Mutex
 	graphs map[string]*callgraph.Graph
+	lints  map[string]*lintEntry
+}
+
+// lintEntry is one cached lint result plus the wall clock of the run
+// that produced it.
+type lintEntry struct {
+	res  *lint.Result
+	took time.Duration
 }
 
 // Err returns an error if the compile was cancelled or any frontend phase
@@ -175,6 +188,7 @@ func CompileContext(ctx context.Context, cfg Config, sources ...Source) *Compila
 		Fingerprint: fingerprint(sources),
 		cfg:         cfg,
 		graphs:      map[string]*callgraph.Graph{},
+		lints:       map[string]*lintEntry{},
 	}
 	workers := cfg.workers()
 
@@ -408,26 +422,47 @@ func (c *Compilation) Lint(opts deadmember.Options, lopts lint.Options) *lint.Re
 }
 
 // LintContext is Lint under a context, returning the per-stage timings
-// of this call (Lint is the flow-sensitive pass's wall clock). An
-// interrupted run returns the context's error and a nil result.
+// of this call (Lint is the flow-sensitive pass's wall clock; a
+// repeated call with the same options is served from the
+// per-compilation cache and flagged LintCached). An interrupted run
+// returns the context's error and a nil result.
 func (c *Compilation) LintContext(ctx context.Context, opts deadmember.Options, lopts lint.Options) (*lint.Result, Timings, error) {
 	ar, t, err := c.analyzeCtx(ctx, opts)
 	if err != nil {
 		return nil, t, err
 	}
-	lres, took, err := c.lintAnalyzed(ctx, ar, lopts)
+	lres, took, cached, err := c.lintAnalyzed(ctx, ar, lopts)
 	t.Lint = took
+	t.LintCached = cached
 	return lres, t, err
 }
 
 // LintAnalyzed lints an existing analysis result, reusing its call
 // graph and dead set instead of re-running liveness. It returns the
-// pass's wall clock so callers can fold it into their Timings.
+// pass's wall clock so callers can fold it into their Timings (zero on
+// a lint-cache hit).
 func (c *Compilation) LintAnalyzed(ctx context.Context, ar *deadmember.Result, lopts lint.Options) (*lint.Result, time.Duration, error) {
-	return c.lintAnalyzed(ctx, ar, lopts)
+	res, took, _, err := c.lintAnalyzed(ctx, ar, lopts)
+	return res, took, err
 }
 
-func (c *Compilation) lintAnalyzed(ctx context.Context, ar *deadmember.Result, lopts lint.Options) (*lint.Result, time.Duration, error) {
+// lintKey identifies everything that can change a lint result: the
+// analysis options (call graph, marking rules, libraries) and the lint
+// options — budget and, crucially, the precision tier, so tier results
+// never collide in the cache.
+func lintKey(opts deadmember.Options, lopts lint.Options) string {
+	return fmt.Sprintf("%+v\x00%d\x00%s", opts, lopts.Budget, lopts.Precision)
+}
+
+func (c *Compilation) lintAnalyzed(ctx context.Context, ar *deadmember.Result, lopts lint.Options) (*lint.Result, time.Duration, bool, error) {
+	key := lintKey(ar.Options, lopts)
+	c.mu.Lock()
+	if e, ok := c.lints[key]; ok {
+		c.mu.Unlock()
+		return e.res, 0, true, nil
+	}
+	c.mu.Unlock()
+
 	start := time.Now()
 	res := lint.RunWith(ar, lopts, lint.Exec{
 		Workers:   c.cfg.workers(),
@@ -436,9 +471,16 @@ func (c *Compilation) lintAnalyzed(ctx context.Context, ar *deadmember.Result, l
 	})
 	took := time.Since(start)
 	if res.Interrupted {
-		return nil, took, ctx.Err()
+		return nil, took, false, ctx.Err()
 	}
-	return res, took, nil
+	// Cache only clean results: degraded ones may reflect injected
+	// faults, and interrupted ones are partial.
+	if !res.Degraded() {
+		c.mu.Lock()
+		c.lints[key] = &lintEntry{res: res, took: took}
+		c.mu.Unlock()
+	}
+	return res, took, false, nil
 }
 
 // Profile analyzes and then executes the program with an instrumented

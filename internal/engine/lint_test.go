@@ -7,6 +7,7 @@ import (
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/engine"
+	"deadmembers/internal/heaplive"
 	"deadmembers/internal/lint"
 	"deadmembers/internal/types"
 )
@@ -53,6 +54,77 @@ func TestLintTimingsAndFindings(t *testing.T) {
 	}
 	if timings.Total() < timings.Lint {
 		t.Errorf("Total() = %v excludes Lint = %v", timings.Total(), timings.Lint)
+	}
+}
+
+// lintChainSrc has one chained dead store only the heap tier can see.
+const lintChainSrc = `
+class Inner {
+public:
+    int val;
+    Inner() : val(0) {}
+};
+class Outer {
+public:
+    Inner in;
+    int tag;
+    Outer() : tag(0) {}
+};
+int main() {
+    Outer o;
+    o.in.val = 1;
+    o.in.val = 2;
+    print(o.in.val + o.tag);
+    return 0;
+}
+`
+
+// TestLintCachePerPrecision exercises the per-compilation lint cache:
+// a repeat run at the same tier is a flagged cache hit returning the
+// identical result, and the tiers occupy distinct cache entries — the
+// heap tier keeps its extra finding on a re-request after a flow run.
+func TestLintCachePerPrecision(t *testing.T) {
+	sess := engine.NewSession(engine.Config{})
+	comp := sess.CompileContext(context.Background(), engine.Source{Name: "chain.mcc", Text: lintChainSrc})
+	if err := comp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	opts := deadmember.Options{CallGraph: callgraph.RTA}
+
+	counts := map[heaplive.Precision]int{}
+	for _, p := range heaplive.Tiers() {
+		first, timings, err := comp.LintContext(context.Background(), opts, lint.Options{Precision: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if timings.LintCached {
+			t.Fatalf("%s tier: first run flagged as cached", p)
+		}
+		again, timings, err := comp.LintContext(context.Background(), opts, lint.Options{Precision: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !timings.LintCached || timings.Lint != 0 {
+			t.Fatalf("%s tier: repeat run not served from cache (cached=%v lint=%v)",
+				p, timings.LintCached, timings.Lint)
+		}
+		if again != first {
+			t.Fatalf("%s tier: cache returned a different result", p)
+		}
+		counts[p] = len(first.Findings)
+	}
+	if !(counts[heaplive.PrecisionHeap] > counts[heaplive.PrecisionFlow]) {
+		t.Fatalf("heap tier collided with flow in the cache: heap=%d flow=%d",
+			counts[heaplive.PrecisionHeap], counts[heaplive.PrecisionFlow])
+	}
+
+	// Distinct budgets must not collide either.
+	_, timings, err := comp.LintContext(context.Background(), opts, lint.Options{Budget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timings.LintCached {
+		t.Fatal("budget change served from the old cache entry")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"deadmembers/internal/cfg"
 	"deadmembers/internal/dataflow"
 	"deadmembers/internal/deadmember"
+	"deadmembers/internal/heaplive"
 	"deadmembers/internal/source"
 	"deadmembers/internal/token"
 	"deadmembers/internal/types"
@@ -48,14 +49,11 @@ type funcState struct {
 	all     dataflow.BitSet      // every bit
 }
 
-// deadStores runs the dead-store check on one reachable function. The
-// returned error is a dataflow budget overrun or a context
+// deadStores runs the dead-store check on one reachable function whose
+// CFG the caller already built (it is shared with the heap-tier pass).
+// The returned error is a dataflow budget overrun or a context
 // cancellation; findings are nil in that case.
-func deadStores(ar *deadmember.Result, f *types.Func, cl *classification, sup map[*types.Field]bool, call *fieldSet, opts Options, ctx context.Context) ([]Finding, error) {
-	g := cfg.Build(f)
-	if g == nil {
-		return nil, nil
-	}
+func deadStores(ar *deadmember.Result, f *types.Func, g *cfg.Graph, cl *classification, sup map[*types.Field]bool, call *fieldSet, opts Options, ctx context.Context) ([]Finding, error) {
 	fs := &funcState{
 		ar: ar, info: ar.Program.Info, f: f, cl: cl, sup: sup, call: call, g: g,
 		bit: map[loc]int{}, byField: map[*types.Field][]int{}, byBase: map[*types.Var][]int{},
@@ -77,6 +75,7 @@ func deadStores(ar *deadmember.Result, f *types.Func, cl *classification, sup ma
 		Boundary:  fs.exitLive(),
 		Budget:    opts.Budget,
 		Ctx:       ctx,
+		Unit:      f.QualifiedName(),
 		Dir:       dataflow.Backward,
 	}
 	for i, b := range g.Blocks {
@@ -207,43 +206,11 @@ func (fs *funcState) exitLive() dataflow.BitSet {
 			out.Set(i)
 		case types.IsPointer(l.base.Type):
 			out.Set(i)
-		case hasUserDtor(types.IsClass(l.base.Type), map[*types.Class]bool{}):
+		case heaplive.HasUserDtor(types.IsClass(l.base.Type)):
 			out.Set(i)
 		}
 	}
 	return out
-}
-
-// hasUserDtor reports whether destroying a value of class c runs any
-// user-declared destructor (its own, a base's, or a member's, through
-// arrays).
-func hasUserDtor(c *types.Class, seen map[*types.Class]bool) bool {
-	if c == nil || seen[c] {
-		return false
-	}
-	seen[c] = true
-	if c.Dtor() != nil {
-		return true
-	}
-	for _, b := range c.Bases {
-		if hasUserDtor(b.Class, seen) {
-			return true
-		}
-	}
-	for _, f := range c.Fields {
-		t := f.Type
-		for {
-			if arr, ok := t.(*types.Array); ok {
-				t = arr.Elem
-				continue
-			}
-			break
-		}
-		if hasUserDtor(types.IsClass(t), seen) {
-			return true
-		}
-	}
-	return false
 }
 
 // blockTransfer composes the block's atoms into one gen/kill pair.

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+
+	"deadmembers/internal/ast"
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/heaplive"
+	"deadmembers/internal/types"
+)
+
+// This file bridges the lint layer to internal/heaplive: the heap
+// precision tier reuses lint's per-function access classification and
+// its call-graph summary fixpoint, adapted to heaplive's interfaces.
+
+// accAdapter presents a classification as heaplive.Accesses.
+type accAdapter struct{ cl *classification }
+
+func mapAccess(a access) heaplive.Access {
+	switch a {
+	case accRead:
+		return heaplive.AccRead
+	case accWrite:
+		return heaplive.AccWrite
+	case accAddr:
+		return heaplive.AccAddr
+	case accPath:
+		return heaplive.AccPath
+	}
+	return heaplive.AccNone
+}
+
+func (a accAdapter) MemberAccess(n ast.Node) heaplive.Access { return mapAccess(a.cl.acc[n]) }
+func (a accAdapter) VarAccess(id *ast.Ident) heaplive.Access { return mapAccess(a.cl.varAcc[id]) }
+func (a accAdapter) Escaped(v *types.Var) bool               { return a.cl.escaped[v] }
+func (a accAdapter) MutatedVar(n ast.Node) *types.Var        { return a.cl.mut[n] }
+
+// AccessesFor classifies f's body with lint's classifier and adapts it
+// to heaplive.Accesses — the hook internal/heaplive's tests drive the
+// analysis through.
+func AccessesFor(info *types.Info, f *types.Func) heaplive.Accesses {
+	return accAdapter{classify(info, f)}
+}
+
+// heapSummary assembles one function's callee effect summary for the
+// heap tier from the per-function read and write unions.
+func heapSummary(reads, writes *fieldSet) heaplive.Summary {
+	return heaplive.Summary{
+		Reads:     reads.m,
+		Writes:    writes.m,
+		Universal: reads.universal || writes.universal,
+	}
+}
+
+// heapFinding converts one chained dead store into a lint finding. The
+// Member field carries the final field — the stored cell — matching the
+// flow tier's convention; the message spells the whole path.
+func heapFinding(ar *deadmember.Result, f *types.Func, ds heaplive.DeadStore) Finding {
+	pos := ar.Program.FileSet.Position(ds.Pos)
+	return Finding{
+		Check:  CheckDeadStore,
+		File:   pos.File,
+		Line:   pos.Line,
+		Col:    pos.Column,
+		Member: ds.Path.Final().QualifiedName(),
+		Func:   f.QualifiedName(),
+		Message: fmt.Sprintf("dead store to %s: no path reads %s before it is overwritten or discarded",
+			ds.Path, ds.Path.Final().Name),
+	}
+}

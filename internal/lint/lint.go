@@ -23,9 +23,11 @@ import (
 	"sort"
 	"sync"
 
+	"deadmembers/internal/cfg"
 	"deadmembers/internal/dataflow"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/failure"
+	"deadmembers/internal/heaplive"
 	"deadmembers/internal/types"
 )
 
@@ -39,8 +41,15 @@ const (
 type Options struct {
 	// Budget caps dataflow solver steps per function; 0 selects the
 	// automatic budget (dataflow.DefaultBudget), which no well-formed
-	// function exceeds.
+	// function exceeds. The budget applies to each solver pass
+	// independently (the heap tier runs two per function).
 	Budget int
+
+	// Precision selects the liveness tier: paper (flow-insensitive
+	// write-only corroboration only), flow (the default, zero value:
+	// length-one access paths), or heap (flow plus the access-graph
+	// chained-path pass). Findings are monotone: paper ⊆ flow ⊆ heap.
+	Precision heaplive.Precision
 }
 
 // Exec configures how — not what — Run computes; any Workers value
@@ -128,68 +137,80 @@ func RunWith(ar *deadmember.Result, opts Options, exec Exec) *Result {
 		}
 	}
 
-	sup := suppressedFields(ar, cls)
-	sums := readSummaries(ar, funcs, cls, index)
-
-	// What each function's outgoing calls may read: the union of its
-	// callees' transitive summaries (not the function's own reads —
-	// those gen at their own atoms).
-	calls := make([]*fieldSet, len(funcs))
-	for i, f := range funcs {
-		s := &fieldSet{m: map[*types.Field]bool{}}
-		for _, callee := range ar.CallGraph.Edges[f] {
-			j, ok := index[callee]
-			if !ok {
-				s.universal = true
-				continue
-			}
-			if sums[j].universal {
-				s.universal = true
-			}
-			for fld := range sums[j].m {
-				s.m[fld] = true
-			}
-		}
-		calls[i] = s
-	}
-
 	// Phase 2 (parallel): per-function CFG + backward liveness. Results
 	// land in per-index slots and merge in index order, so findings are
-	// byte-identical at any worker count.
-	findings := make([][]Finding, len(funcs))
-	fails := make([]*failure.Failure, len(funcs))
-	errs := make([]error, len(funcs))
-	lintOne := func(i int) {
-		f := funcs[i]
-		fails[i] = failure.Catch("lint", f.QualifiedName(), func() {
-			if exec.FuncFault != nil {
-				exec.FuncFault(f)
-			}
-			findings[i], errs[i] = deadStores(ar, f, cls[i], sup, calls[i], opts, ctx)
-		})
-	}
-	if !runParallel(ctx, exec.Workers, len(funcs), lintOne) {
-		res.Interrupted = true
-	}
-	for i, f := range funcs {
-		res.Findings = append(res.Findings, findings[i]...)
-		if fails[i] != nil {
-			res.Failures = append(res.Failures, fails[i])
+	// byte-identical at any worker count. The paper tier skips this
+	// phase entirely — its findings are the flow-insensitive write-only
+	// corroboration of phase 3.
+	if opts.Precision != heaplive.PrecisionPaper {
+		sup := suppressedFields(ar, cls)
+		sums := readSummaries(ar, funcs, cls, index)
+
+		// What each function's outgoing calls may read: the union of its
+		// callees' transitive summaries (not the function's own reads —
+		// those gen at their own atoms).
+		calls := calleeUnion(ar, funcs, index, sums)
+
+		// The heap tier additionally needs what a call may *write*: a
+		// callee store to a chain-interior field can re-point a tracked
+		// path's prefix.
+		var callWrites []*fieldSet
+		if opts.Precision == heaplive.PrecisionHeap {
+			callWrites = calleeUnion(ar, funcs, index, writeSummaries(ar, funcs, cls, index))
 		}
-		switch {
-		case errs[i] == nil:
-		case errors.Is(errs[i], dataflow.ErrBudget):
-			// A budget overrun is an ordinary internal diagnostic, not a
-			// crash: surface it through the same Failures/Degraded path.
-			res.Failures = append(res.Failures, &failure.Failure{
-				Stage: "lint",
-				Unit:  f.QualifiedName(),
-				Value: errs[i].Error(),
-				Stack: "budget",
+
+		findings := make([][]Finding, len(funcs))
+		fails := make([]*failure.Failure, len(funcs))
+		errs := make([]error, len(funcs))
+		lintOne := func(i int) {
+			f := funcs[i]
+			fails[i] = failure.Catch("lint", f.QualifiedName(), func() {
+				if exec.FuncFault != nil {
+					exec.FuncFault(f)
+				}
+				g := cfg.Build(f)
+				if g == nil {
+					return
+				}
+				findings[i], errs[i] = deadStores(ar, f, g, cls[i], sup, calls[i], opts, ctx)
+				if errs[i] != nil || callWrites == nil {
+					return
+				}
+				stores, herr := heaplive.Analyze(ar.Program.Info, g, accAdapter{cls[i]},
+					heapSummary(calls[i], callWrites[i]), sup,
+					heaplive.Options{Budget: opts.Budget, Ctx: ctx})
+				if herr != nil {
+					errs[i] = herr
+					return
+				}
+				for _, ds := range stores {
+					findings[i] = append(findings[i], heapFinding(ar, f, ds))
+				}
 			})
-		default:
-			// Context cancellation mid-solve.
+		}
+		if !runParallel(ctx, exec.Workers, len(funcs), lintOne) {
 			res.Interrupted = true
+		}
+		for i, f := range funcs {
+			res.Findings = append(res.Findings, findings[i]...)
+			if fails[i] != nil {
+				res.Failures = append(res.Failures, fails[i])
+			}
+			switch {
+			case errs[i] == nil:
+			case errors.Is(errs[i], dataflow.ErrBudget):
+				// A budget overrun is an ordinary internal diagnostic, not a
+				// crash: surface it through the same Failures/Degraded path.
+				res.Failures = append(res.Failures, &failure.Failure{
+					Stage: "lint",
+					Unit:  f.QualifiedName(),
+					Value: errs[i].Error(),
+					Stack: "budget",
+				})
+			default:
+				// Context cancellation mid-solve.
+				res.Interrupted = true
+			}
 		}
 	}
 
@@ -303,8 +324,7 @@ type fieldSet struct {
 
 // readSummaries computes, for each reachable function, the set of
 // fields transitively read by itself and its callees — the gen effect
-// of a call atom. Fixpoint over the call graph's edges; monotone, so
-// iteration to quiescence terminates.
+// of a call atom.
 func readSummaries(ar *deadmember.Result, funcs []*types.Func, cls []*classification, index map[*types.Func]int) []*fieldSet {
 	sums := make([]*fieldSet, len(funcs))
 	for i, cl := range cls {
@@ -314,6 +334,28 @@ func readSummaries(ar *deadmember.Result, funcs []*types.Func, cls []*classifica
 		}
 		sums[i] = s
 	}
+	return summaryFixpoint(ar, funcs, index, sums)
+}
+
+// writeSummaries is the store-side counterpart (heap tier): the fields
+// each function and its callees may store to, seeded from the
+// classifier's write sites (including constructor initializers).
+func writeSummaries(ar *deadmember.Result, funcs []*types.Func, cls []*classification, index map[*types.Func]int) []*fieldSet {
+	sums := make([]*fieldSet, len(funcs))
+	for i, cl := range cls {
+		s := &fieldSet{m: map[*types.Field]bool{}, universal: cl.universal}
+		for _, w := range cl.writes {
+			s.m[w.field] = true
+		}
+		sums[i] = s
+	}
+	return summaryFixpoint(ar, funcs, index, sums)
+}
+
+// summaryFixpoint closes per-function seed sets over the call graph's
+// edges: each function absorbs its callees' sets until quiescence.
+// Monotone, so iteration terminates.
+func summaryFixpoint(ar *deadmember.Result, funcs []*types.Func, index map[*types.Func]int, sums []*fieldSet) []*fieldSet {
 	for {
 		changed := false
 		for i, f := range funcs {
@@ -322,7 +364,7 @@ func readSummaries(ar *deadmember.Result, funcs []*types.Func, cls []*classifica
 				j, ok := index[callee]
 				if !ok {
 					// Edge to a function outside the reachable scan
-					// (defensive): assume it may read anything.
+					// (defensive): assume it may touch anything.
 					if !s.universal {
 						s.universal = true
 						changed = true
@@ -346,6 +388,31 @@ func readSummaries(ar *deadmember.Result, funcs []*types.Func, cls []*classifica
 			return sums
 		}
 	}
+}
+
+// calleeUnion computes, per function, the union of its callees'
+// transitive summaries — the effect of one call atom out of that
+// function.
+func calleeUnion(ar *deadmember.Result, funcs []*types.Func, index map[*types.Func]int, sums []*fieldSet) []*fieldSet {
+	out := make([]*fieldSet, len(funcs))
+	for i, f := range funcs {
+		s := &fieldSet{m: map[*types.Field]bool{}}
+		for _, callee := range ar.CallGraph.Edges[f] {
+			j, ok := index[callee]
+			if !ok {
+				s.universal = true
+				continue
+			}
+			if sums[j].universal {
+				s.universal = true
+			}
+			for fld := range sums[j].m {
+				s.m[fld] = true
+			}
+		}
+		out[i] = s
+	}
+	return out
 }
 
 // runParallel runs fn(0..n-1) on up to `workers` goroutines, stopping

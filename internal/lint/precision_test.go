@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+
+	"deadmembers/internal/callgraph"
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/heaplive"
+)
+
+// findingSet counts findings by value (Finding is comparable), so
+// subset checks tolerate ordering and duplicates alike.
+func findingSet(fs []Finding) map[Finding]int {
+	m := map[Finding]int{}
+	for _, f := range fs {
+		m[f]++
+	}
+	return m
+}
+
+func assertSubset(t *testing.T, lo, hi *Result, loName, hiName string) {
+	t.Helper()
+	hiSet := findingSet(hi.Findings)
+	for f, n := range findingSet(lo.Findings) {
+		if hiSet[f] < n {
+			t.Errorf("%s finding missing from %s tier: %+v", loName, hiName, f)
+		}
+	}
+}
+
+// TestPrecisionTiers pins the tier ladder on the chained fixture: the
+// paper tier sees only the write-only corroboration, flow adds the
+// plain length-one dead store, heap adds the chained ones — strictly
+// more findings at each tier, and every lower tier's findings survive
+// verbatim in the higher one (paper ⊆ flow ⊆ heap).
+func TestPrecisionTiers(t *testing.T) {
+	ar := analyzeFixture(t, "chained.mcc", deadmember.Options{CallGraph: callgraph.RTA})
+	var results [3]*Result
+	for i, p := range heaplive.Tiers() {
+		r := Run(ar, Options{Precision: p})
+		if r.Degraded() {
+			t.Fatalf("%s tier degraded: %v", p, r.Failures)
+		}
+		results[i] = r
+	}
+	paper, flow, heap := results[0], results[1], results[2]
+
+	if !(len(paper.Findings) < len(flow.Findings) && len(flow.Findings) < len(heap.Findings)) {
+		t.Fatalf("tiers not strictly increasing: paper=%d flow=%d heap=%d",
+			len(paper.Findings), len(flow.Findings), len(heap.Findings))
+	}
+	assertSubset(t, paper, flow, "paper", "flow")
+	assertSubset(t, flow, heap, "flow", "heap")
+
+	// Paper: only the write-only corroboration of Inner::pad (stored in
+	// the constructor initializer, never read).
+	for _, f := range paper.Findings {
+		if f.Check != CheckWriteOnly {
+			t.Errorf("paper tier emitted a flow-sensitive finding: %+v", f)
+		}
+	}
+	if len(paper.Findings) == 0 || paper.Findings[0].Member != "Inner::pad" {
+		t.Fatalf("paper tier want Inner::pad write-only, got %v", paper.Findings)
+	}
+
+	// Heap − flow: exactly the three chained dead stores.
+	flowSet := findingSet(flow.Findings)
+	var extra []Finding
+	for _, f := range heap.Findings {
+		if flowSet[f] > 0 {
+			flowSet[f]--
+			continue
+		}
+		extra = append(extra, f)
+	}
+	want := []struct {
+		line   int
+		member string
+		fn     string
+	}{
+		{34, "Inner::val", "overwriteChain"},
+		{41, "Inner::val", "deepChain"},
+		{47, "Inner::val", "throughPointer"},
+	}
+	if len(extra) != len(want) {
+		t.Fatalf("heap-only findings = %d, want %d:\n%v", len(extra), len(want), extra)
+	}
+	for i, w := range want {
+		f := extra[i]
+		if f.Check != CheckDeadStore || f.Line != w.line || f.Member != w.member || f.Func != w.fn {
+			t.Errorf("heap finding %d = %+v, want line %d %s in %s", i, f, w.line, w.member, w.fn)
+		}
+	}
+}
+
+// TestPrecisionDeterministicAcrossWorkers asserts byte-identical
+// findings at any parallelism for every tier.
+func TestPrecisionDeterministicAcrossWorkers(t *testing.T) {
+	ar := analyzeFixture(t, "chained.mcc", deadmember.Options{CallGraph: callgraph.RTA})
+	for _, p := range heaplive.Tiers() {
+		base := RunWith(ar, Options{Precision: p}, Exec{Workers: 1})
+		for _, workers := range []int{2, 4, 8} {
+			r := RunWith(ar, Options{Precision: p}, Exec{Workers: workers})
+			if !reflect.DeepEqual(base.Findings, r.Findings) {
+				t.Fatalf("%s tier findings differ at %d workers", p, workers)
+			}
+		}
+	}
+}
+
+// TestPrecisionNoChainsIsFlowIdentical guards the upgrade path: on a
+// fixture with no multi-field chains the heap tier adds nothing, and
+// the flow tier matches the zero-value default.
+func TestPrecisionNoChainsIsFlowIdentical(t *testing.T) {
+	ar := analyzeFixture(t, "plain.mcc", deadmember.Options{CallGraph: callgraph.RTA})
+	def := Run(ar, Options{})
+	flow := Run(ar, Options{Precision: heaplive.PrecisionFlow})
+	heap := Run(ar, Options{Precision: heaplive.PrecisionHeap})
+	if !reflect.DeepEqual(def.Findings, flow.Findings) {
+		t.Fatal("zero-value Options differ from explicit flow tier")
+	}
+	if !reflect.DeepEqual(flow.Findings, heap.Findings) {
+		t.Fatalf("heap tier diverges on a chain-free fixture:\nflow=%v\nheap=%v",
+			flow.Findings, heap.Findings)
+	}
+}
+
+// TestHeapBudgetNamesFunction drives the heap tier into budget
+// exhaustion and asserts the degraded record names the function.
+func TestHeapBudgetNamesFunction(t *testing.T) {
+	ar := analyzeFixture(t, "chained.mcc", deadmember.Options{CallGraph: callgraph.RTA})
+	r := Run(ar, Options{Precision: heaplive.PrecisionHeap, Budget: 1})
+	if !r.Degraded() {
+		t.Fatal("budget 1 did not degrade the result")
+	}
+	for _, f := range r.Failures {
+		if f.Unit == "" {
+			t.Errorf("failure without unit: %+v", f)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"deadmembers/internal/callgraph"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/engine"
+	"deadmembers/internal/heaplive"
 )
 
 // httpError is a handler failure carrying the status code to report.
@@ -39,14 +40,14 @@ type bundle struct {
 	classes     bool
 	unreachable bool
 
-	// lint (deadlint -format / -budget)
-	format string
-	budget int
+	// lint (deadlint -format / -budget / -precision)
+	format    string
+	budget    int
+	precision heaplive.Precision
 
 	// strip (deadstrip -keep-unreachable)
 	keepUnreachable bool
 }
-
 
 // parseRequest decodes a request in either transport (see api.FromHTTP
 // for the two wire forms) and validates it into a bundle.
@@ -104,6 +105,11 @@ func bundleFromAPI(req *api.Request) (*bundle, *httpError) {
 	if b.format, herr = decodeFormat(req.Format); herr != nil {
 		return nil, herr
 	}
+	p, err := heaplive.ParsePrecision(req.Precision)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	b.precision = p
 	return b, nil
 }
 
@@ -167,6 +173,7 @@ func artifactKey(endpoint string, b *bundle) string {
 		fmt.Sprintf("unreachable=%t", b.unreachable),
 		"format=" + b.format,
 		fmt.Sprintf("budget=%d", b.budget),
+		"precision=" + b.precision.String(),
 		fmt.Sprintf("keepunreachable=%t", b.keepUnreachable),
 		"src=" + engine.Fingerprint(b.sources...),
 	}, "\x00")

@@ -14,6 +14,7 @@ import (
 	"deadmembers/internal/api"
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/engine"
+	"deadmembers/internal/heaplive"
 	"deadmembers/internal/lint"
 	"deadmembers/internal/strip"
 	"deadmembers/internal/textreport"
@@ -102,6 +103,73 @@ func TestAnalyzeJSONBundle(t *testing.T) {
 	}
 	if !strings.Contains(got, "per-class breakdown:") {
 		t.Errorf("classes section missing:\n%s", got)
+	}
+}
+
+// chainSample has a two-member-deep dead store that only the heap
+// precision tier reports, so the tiers render observably different
+// bodies.
+const chainSample = `
+class Inner {
+public:
+	int val;
+	Inner() : val(0) {}
+};
+class Outer {
+public:
+	Inner in;
+	int tag;
+	Outer() : tag(0) {}
+};
+int main() {
+	Outer o;
+	o.in.val = 1;
+	o.in.val = 2;
+	print(o.in.val + o.tag);
+	return 0;
+}
+`
+
+// TestLintPrecisionMatchesCLIRenderer: every precision tier's /v1/lint
+// body must be byte-identical to what deadlint -precision=<tier> prints
+// for the same input, an empty precision must alias the flow tier
+// (legacy requests), and the heap tier must visibly differ from flow on
+// a chained fixture — proof the knob reaches the analysis.
+func TestLintPrecisionMatchesCLIRenderer(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	comp := engine.Compile(engine.Config{Workers: 1}, engine.Source{Name: "chain.mcc", Text: chainSample})
+	if err := comp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	bodies := map[string]string{}
+	for _, p := range heaplive.Tiers() {
+		res := comp.Lint(deadmember.Options{}, lint.Options{Precision: p})
+		var want bytes.Buffer
+		if err := lint.WriteText(&want, res); err != nil {
+			t.Fatal(err)
+		}
+		resp, body := post(t, ts.URL+"/v1/lint?file=chain.mcc&precision="+p.String(), "text/x-mcc", chainSample)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, body: %s", p, resp.StatusCode, body)
+		}
+		if body != want.String() {
+			t.Errorf("%s: body diverges from CLI writer:\n--- server ---\n%s--- cli ---\n%s", p, body, want.String())
+		}
+		bodies[p.String()] = body
+	}
+
+	_, legacy := post(t, ts.URL+"/v1/lint?file=chain.mcc", "text/x-mcc", chainSample)
+	if legacy != bodies["flow"] {
+		t.Errorf("empty precision diverges from the flow tier:\n--- legacy ---\n%s--- flow ---\n%s", legacy, bodies["flow"])
+	}
+	if bodies["heap"] == bodies["flow"] {
+		t.Error("heap tier body identical to flow on the chained fixture; the knob is not reaching the analysis")
+	}
+
+	resp, body := post(t, ts.URL+"/v1/lint?precision=bogus", "text/x-mcc", chainSample)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus precision: status %d, body: %s", resp.StatusCode, body)
 	}
 }
 
