@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check lint test race race-server bench fuzz serve smoke-server smoke-restart smoke-fleet smoke-precision chaos-smoke ci
+.PHONY: build vet fmt-check lint test race race-server bench bench-vm fuzz serve smoke-server smoke-restart smoke-fleet smoke-precision smoke-vm chaos-smoke check ci
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,12 @@ smoke-fleet:
 smoke-precision:
 	sh scripts/smoke_precision.sh
 
+# Engine smoke: every example program under tree and VM, plain and
+# profiled (also at -parallel 4), byte-identical; then the paperbench
+# -engines exhibit with zero diverged rows.
+smoke-vm:
+	sh scripts/smoke_vm.sh
+
 # Chaos soaks under the race detector: faulty disk + faulty network,
 # abrupt in-test kill and restart, byte-identity and zero-lost-work
 # asserted throughout (see internal/server/chaos_soak_test.go and
@@ -75,6 +81,15 @@ chaos-smoke:
 bench:
 	$(GO) test -bench=. -benchmem
 
+# Engine throughput snapshot over the 10-50x large corpus: runs each
+# large benchmark to completion under both engines (the tree runs take
+# about a minute each — this is a benchmarking target, not a CI gate)
+# and writes the steps/sec comparison to BENCH_vm.json.
+bench-vm:
+	$(GO) build -o bin/paperbench ./cmd/paperbench
+	bin/paperbench -engines -large -json >BENCH_vm.json
+	cat BENCH_vm.json
+
 # Short fuzzing smoke over each target (the checked-in corpus under
 # testdata/fuzz/ is replayed by plain `make test` already).
 FUZZTIME ?= 20s
@@ -83,6 +98,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzAnalyze -fuzztime=$(FUZZTIME) .
 	$(GO) test -fuzz=FuzzStripRoundTrip -fuzztime=$(FUZZTIME) .
 	$(GO) test -fuzz=FuzzCFG -fuzztime=$(FUZZTIME) .
+	$(GO) test -fuzz=FuzzVMDifferential -fuzztime=$(FUZZTIME) .
+
+# The quick local gate: build + static checks + tests + the engine
+# smoke. Slower CI-only passes (race soaks, server smokes) stay out.
+check: build vet fmt-check test smoke-vm
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build vet race race-server lint smoke-server smoke-restart smoke-fleet smoke-precision chaos-smoke
+ci: build vet race race-server lint smoke-server smoke-restart smoke-fleet smoke-precision smoke-vm chaos-smoke

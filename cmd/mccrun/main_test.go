@@ -113,3 +113,72 @@ int main() { int n = 0; while (true) { n = n + 1; } return n; }`)
 		t.Errorf("stderr missing deadline diagnostic:\n%s", errOut.String())
 	}
 }
+
+func TestEngineFlag(t *testing.T) {
+	path := write(t, "eng.mcc", `
+class Node { public: int v; Node* next; Node(int x) : v(x), next(nullptr) {} };
+int main() {
+	Node* head = nullptr;
+	int sum = 0;
+	for (int i = 0; i < 50; i++) { Node* n = new Node(i); n->next = head; head = n; }
+	while (head != nullptr) { sum = sum + head->v; Node* d = head; head = head->next; delete d; }
+	print(sum); println();
+	return 0;
+}`)
+	runOne := func(engine string) (string, string, int) {
+		var out, errOut strings.Builder
+		code := run([]string{"-engine", engine, "-profile", path}, &out, &errOut)
+		return out.String(), errOut.String(), code
+	}
+	treeOut, treeErr, treeCode := runOne("tree")
+	vmOut, vmErr, vmCode := runOne("vm")
+	if treeCode != vmCode {
+		t.Fatalf("exit codes differ: tree=%d vm=%d", treeCode, vmCode)
+	}
+	if treeOut != vmOut {
+		t.Errorf("stdout differs:\ntree: %q\nvm:   %q", treeOut, vmOut)
+	}
+	if treeErr != vmErr {
+		t.Errorf("heap profile differs:\ntree:\n%s\nvm:\n%s", treeErr, vmErr)
+	}
+}
+
+func TestEngineFlagRejected(t *testing.T) {
+	path := write(t, "e.mcc", `int main() { return 0; }`)
+	var out, errOut strings.Builder
+	if code := run([]string{"-engine", "jit", path}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -engine should exit 2, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown engine "jit"`) {
+		t.Errorf("stderr missing engine diagnostic:\n%s", errOut.String())
+	}
+}
+
+func TestPrecisionFlagForwarded(t *testing.T) {
+	path := write(t, "prec.mcc", `
+class Box { public: int keep; int waste; Box() : keep(1), waste(2) {} };
+int main() { Box* b = new Box(); int r = b->keep; delete b; return r; }`)
+	var base string
+	for _, tier := range []string{"paper", "flow", "heap"} {
+		var out, errOut strings.Builder
+		if code := run([]string{"-precision", tier, "-profile", path}, &out, &errOut); code != 1 {
+			t.Fatalf("-precision=%s: exit = %d, want 1", tier, code)
+		}
+		if base == "" {
+			base = errOut.String()
+		} else if errOut.String() != base {
+			t.Errorf("-precision=%s changed the profile (the report is tier-invariant):\n%s", tier, errOut.String())
+		}
+	}
+}
+
+func TestPrecisionFlagRejected(t *testing.T) {
+	path := write(t, "e.mcc", `int main() { return 0; }`)
+	var out, errOut strings.Builder
+	if code := run([]string{"-precision", "psychic", path}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -precision should exit 2, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "psychic") {
+		t.Errorf("stderr missing precision diagnostic:\n%s", errOut.String())
+	}
+}

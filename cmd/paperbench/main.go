@@ -9,6 +9,9 @@
 //	paperbench -ablation       # the design-choice ablations
 //	paperbench -precision      # precision/cost frontier across liveness tiers
 //	paperbench -timings        # per-stage engine wall-clock timings
+//	paperbench -engines        # tree vs VM steps/sec comparison
+//	paperbench -engines -large # ... over the 10-50x large corpus
+//	paperbench -engine vm      # collect the exhibits through the VM
 //	paperbench -parallel 8     # bound the engine's worker pool
 //	paperbench -csv            # machine-readable results
 //	paperbench -dump richards  # print a corpus benchmark's MC++ source
@@ -54,12 +57,21 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		ablation    = fs.Bool("ablation", false, "analysis-variant ablations")
 		precision   = fs.Bool("precision", false, "precision/cost frontier: lint findings and wall clock per liveness tier (paper/flow/heap)")
 		timings     = fs.Bool("timings", false, "per-stage engine wall-clock timings and session cache counters")
+		engines     = fs.Bool("engines", false, "execution-engine comparison: steps/sec and wall-clock speedup of the bytecode VM over the tree-walker")
+		large       = fs.Bool("large", false, "with -engines: measure the 10-50x large corpus instead of the paper corpus")
+		jsonOut     = fs.Bool("json", false, "with -engines: emit the comparison rows as JSON (the BENCH_vm.json snapshot format)")
+		engineFlag  = fs.String("engine", "tree", "execution engine for the profiled exhibits: tree or vm (results are byte-identical; vm exists for soak coverage)")
 		csvOut      = fs.Bool("csv", false, "machine-readable measured results")
 		parallel    = fs.Int("parallel", 0, "worker count for the parse and liveness stages (0 = all cores, 1 = sequential)")
 		dump        = fs.String("dump", "", "print the MC++ source of the named corpus benchmark and exit")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	eng, err := engine.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "paperbench: %v\n", err)
 		return 2
 	}
 	if *showVersion {
@@ -79,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 0
 	}
 
-	all := !*table1 && !*figure3 && !*table2 && !*figure4 && !*summary && !*ablation && !*precision && !*timings && !*csvOut
+	all := !*table1 && !*figure3 && !*table2 && !*figure4 && !*summary && !*ablation && !*precision && !*timings && !*csvOut && !*engines
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -89,7 +101,40 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 
 	session := engine.NewSession(engine.Config{Workers: *parallel})
-	results, err := report.CollectAllInContext(ctx, session)
+
+	// -engines is a pure throughput exhibit: it runs the corpus under
+	// both engines, wall-clock timed, and skips the profiled exhibits
+	// entirely (its rows already prove byte-identity per run).
+	if *engines {
+		corpus := bench.All()
+		if *large {
+			corpus = bench.Large()
+		}
+		rows, err := report.CollectEnginesInContext(ctx, session, corpus)
+		if err != nil {
+			fmt.Fprintf(stderr, "paperbench: %v\n", err)
+			return 1
+		}
+		if *jsonOut {
+			out, err := report.EnginesJSON(rows)
+			if err != nil {
+				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				return 1
+			}
+			fmt.Fprint(stdout, out)
+		} else {
+			fmt.Fprintln(stdout, report.EnginesTable(rows))
+		}
+		for _, r := range rows {
+			if r.Degraded {
+				fmt.Fprintln(stderr, "paperbench: some engine rows are degraded")
+				return 1
+			}
+		}
+		return 0
+	}
+
+	results, err := report.CollectAllInContextEngine(ctx, session, eng)
 	if err != nil {
 		fmt.Fprintf(stderr, "paperbench: %v\n", err)
 		return 1

@@ -146,3 +146,48 @@ func FuzzStripRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzVMDifferential is the engine equivalence fuzzer: every compiling
+// input is executed under the tree-walking interpreter and the bytecode
+// VM through the instrumented profiler, and the two runs must agree
+// byte-for-byte — same output, exit code, step count, and heap
+// high-water marks — or fail with the identical error. The input is
+// compiled once; only the execution engine differs between the runs,
+// so any divergence is the VM's fault by construction.
+func FuzzVMDifferential(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, text string) {
+		c, ok := fuzzCompile(t, text)
+		if !ok {
+			return
+		}
+		// A small step budget keeps looping inputs cheap under coverage
+		// instrumentation; both engines count statements identically, so
+		// the budget trips in lockstep.
+		const budget = 20_000
+		tree, terr := c.Profile(deadmembers.Options{MaxSteps: budget, Engine: deadmembers.EngineTree})
+		vm, verr := c.Profile(deadmembers.Options{MaxSteps: budget, Engine: deadmembers.EngineVM})
+		if (terr != nil) != (verr != nil) {
+			t.Fatalf("engines disagree on failure: tree=%v vm=%v", terr, verr)
+		}
+		if terr != nil {
+			if terr.Error() != verr.Error() {
+				t.Fatalf("engines fail differently:\ntree: %v\nvm:   %v", terr, verr)
+			}
+			return
+		}
+		if tree.Exec.Output != vm.Exec.Output {
+			t.Fatalf("output differs:\ntree: %q\nvm:   %q", tree.Exec.Output, vm.Exec.Output)
+		}
+		if tree.Exec.ExitCode != vm.Exec.ExitCode || tree.Exec.Steps != vm.Exec.Steps {
+			t.Fatalf("exit/steps differ: tree(exit=%d steps=%d) vm(exit=%d steps=%d)",
+				tree.Exec.ExitCode, tree.Exec.Steps, vm.Exec.ExitCode, vm.Exec.Steps)
+		}
+		if tree.Ledger.HighWater != vm.Ledger.HighWater ||
+			tree.Ledger.AdjustedHighWater != vm.Ledger.AdjustedHighWater {
+			t.Fatalf("heap HWM differs: tree(%d/%d) vm(%d/%d)",
+				tree.Ledger.HighWater, tree.Ledger.AdjustedHighWater,
+				vm.Ledger.HighWater, vm.Ledger.AdjustedHighWater)
+		}
+	})
+}

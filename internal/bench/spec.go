@@ -45,6 +45,14 @@ type Spec struct {
 	// the classes are structs".
 	StructFraction float64
 
+	// ComputeRounds, when positive, adds an integer kernel to the
+	// driver: every hot-loop iteration runs this many rounds of scalar
+	// arithmetic over locals. It scales a benchmark's dynamic size
+	// (executed statements) without changing its heap shape — the large
+	// corpus uses it to synthesize programs 10–50× bigger than the
+	// paper-calibrated ones, the scale the tree-walker cannot touch.
+	ComputeRounds int
+
 	Seed uint64 // deterministic generation seed
 }
 

@@ -10,6 +10,7 @@ import (
 	"deadmembers/internal/deadmember"
 	"deadmembers/internal/heapsim"
 	"deadmembers/internal/interp"
+	"deadmembers/internal/source"
 	"deadmembers/internal/types"
 )
 
@@ -39,6 +40,15 @@ type Options struct {
 	// Context cancels or deadlines the instrumented execution
 	// (see interp.Options.Context).
 	Context context.Context
+
+	// Executor, when non-nil, runs function bodies instead of the
+	// tree-walker (see interp.Options.Executor); the bytecode VM engine
+	// plugs in here. Heap instrumentation is engine-independent.
+	Executor interp.Executor
+
+	// FileSet, when non-nil, lets runtime diagnostics carry source
+	// positions (see interp.Options.FileSet).
+	FileSet *source.FileSet
 }
 
 // Run executes the analyzed program with dead-member instrumentation.
@@ -53,6 +63,8 @@ func Run(analysis *deadmember.Result, opts Options) (*Profile, error) {
 		},
 		MaxSteps: opts.MaxSteps,
 		Context:  opts.Context,
+		Executor: opts.Executor,
+		FileSet:  opts.FileSet,
 	})
 	if err != nil {
 		return nil, err

@@ -509,9 +509,9 @@ func (c *Compilation) Run() (*interp.Result, error) {
 }
 
 // RunContext is Run under a context, polled at the interpreter's step
-// boundary.
+// boundary. It uses the tree-walking engine; see RunContextEngine.
 func (c *Compilation) RunContext(ctx context.Context) (*interp.Result, error) {
-	return interp.Run(c.Program, c.Hierarchy, interp.Options{Context: ctx})
+	return c.RunContextEngine(ctx, EngineTree)
 }
 
 // Strip analyzes and applies the dead-member elimination transform.

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"deadmembers/internal/deadmember"
+	"deadmembers/internal/dynprof"
+	"deadmembers/internal/interp"
+	"deadmembers/internal/vm"
+)
+
+// Engine selects how MC++ programs are executed: the tree-walking
+// interpreter or the bytecode VM. Both produce byte-identical observable
+// behaviour — output, exit codes, step counts, and instrumented heap
+// records — because the VM shares the interpreter's runtime core and
+// only replaces the per-statement AST walk.
+type Engine int
+
+// Execution engines.
+const (
+	// EngineTree is the tree-walking interpreter (the default).
+	EngineTree Engine = iota
+	// EngineVM is the bytecode compiler + dispatch-loop VM with inline
+	// caches (internal/vm).
+	EngineVM
+)
+
+// String returns the knob spelling of the engine.
+func (e Engine) String() string {
+	if e == EngineVM {
+		return "vm"
+	}
+	return "tree"
+}
+
+// ParseEngine parses an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "tree":
+		return EngineTree, nil
+	case "vm":
+		return EngineVM, nil
+	}
+	return EngineTree, fmt.Errorf("unknown engine %q (want tree or vm)", s)
+}
+
+// executorFor builds the Executor implementing eng for this compilation.
+// A fresh Executor per run: its inline caches bind Machine-specific
+// cells, so executors are never shared across runs.
+func (c *Compilation) executorFor(eng Engine) interp.Executor {
+	if eng == EngineVM {
+		return vm.NewExecutor(c.Program, c.Hierarchy)
+	}
+	return nil
+}
+
+// ExecutorFor builds a fresh Executor implementing eng (nil for the
+// tree engine), for callers driving interp or dynprof directly.
+func (c *Compilation) ExecutorFor(eng Engine) interp.Executor {
+	return c.executorFor(eng)
+}
+
+// RunContextEngine executes the program on the selected engine.
+func (c *Compilation) RunContextEngine(ctx context.Context, eng Engine) (*interp.Result, error) {
+	return interp.Run(c.Program, c.Hierarchy, interp.Options{
+		Context:  ctx,
+		FileSet:  c.FileSet,
+		Executor: c.executorFor(eng),
+	})
+}
+
+// ProfileContextEngine is ProfileContext with an engine selection for
+// the instrumented execution.
+func (c *Compilation) ProfileContextEngine(ctx context.Context, opts deadmember.Options, dopts dynprof.Options, eng Engine) (*dynprof.Profile, error) {
+	dopts.Executor = c.executorFor(eng)
+	dopts.FileSet = c.FileSet
+	return c.ProfileContext(ctx, opts, dopts)
+}

@@ -9,42 +9,42 @@ import (
 )
 
 // evalCall dispatches function, method, and builtin calls.
-func (m *Machine) evalCall(f *frame, x *ast.Call) Value {
+func (m *Machine) evalCall(f *Frame, x *ast.Call) Value {
 	switch fun := ast.Unparen(x.Fun).(type) {
 	case *ast.Ident:
 		if mth, ok := m.info.IdentMethods[fun]; ok {
 			// Implicit this->m(...): virtual dispatch on the dynamic
 			// class of the receiver.
-			if f.this == nil {
-				m.fail(x.Pos(), "implicit member call with no receiver")
+			if f.This == nil {
+				m.Fail(x.Pos(), "implicit member call with no receiver")
 			}
-			target := m.dispatch(x.Pos(), f.this, mth, true, "")
+			target := m.Dispatch(x.Pos(), f.This, mth, true, "")
 			args := m.evalArgs(f, x.Args)
-			return m.callFunction(target, f.this, args)
+			return m.CallFunction(target, f.This, args)
 		}
 		if fn, ok := m.info.IdentFuncs[fun]; ok {
 			if fn.Builtin {
 				return m.callBuiltin(f, fn.Name, x)
 			}
 			args := m.evalArgs(f, x.Args)
-			return m.callFunction(fn, nil, args)
+			return m.CallFunction(fn, nil, args)
 		}
-		m.fail(x.Pos(), "unresolved call target %s", fun.Name)
+		m.Fail(x.Pos(), "unresolved call target %s", fun.Name)
 	case *ast.Member:
 		mth, ok := m.info.MethodRefs[fun]
 		if !ok {
-			m.fail(x.Pos(), "unresolved method %s", fun.Name)
+			m.Fail(x.Pos(), "unresolved method %s", fun.Name)
 		}
 		obj := m.receiverObject(f, fun.X, fun.Arrow)
-		target := m.dispatch(x.Pos(), obj, mth, true, fun.Qual)
+		target := m.Dispatch(x.Pos(), obj, mth, true, fun.Qual)
 		args := m.evalArgs(f, x.Args)
-		return m.callFunction(target, obj, args)
+		return m.CallFunction(target, obj, args)
 	}
-	m.fail(x.Pos(), "called expression is not callable")
+	m.Fail(x.Pos(), "called expression is not callable")
 	return Value{}
 }
 
-func (m *Machine) evalArgs(f *frame, args []ast.Expr) []Value {
+func (m *Machine) evalArgs(f *Frame, args []ast.Expr) []Value {
 	out := make([]Value, len(args))
 	for i, a := range args {
 		out[i] = m.evalExpr(f, a)
@@ -52,10 +52,10 @@ func (m *Machine) evalArgs(f *frame, args []ast.Expr) []Value {
 	return out
 }
 
-// dispatch resolves the method actually invoked: virtual methods dispatch
+// Dispatch resolves the method actually invoked: virtual methods dispatch
 // on the receiver's dynamic class unless an explicit qualifier pins the
 // target.
-func (m *Machine) dispatch(pos source.Pos, obj *Object, mth *types.Func, dynamic bool, qual string) *types.Func {
+func (m *Machine) Dispatch(pos source.Pos, obj *Object, mth *types.Func, dynamic bool, qual string) *types.Func {
 	if qual != "" || !mth.Virtual || !dynamic {
 		if mth.Body == nil && mth.Virtual {
 			// Pure or body-less virtual reached statically: try dynamic.
@@ -67,62 +67,92 @@ func (m *Machine) dispatch(pos source.Pos, obj *Object, mth *types.Func, dynamic
 	}
 	target := m.h.Overrides(obj.Class, mth.Name)
 	if target == nil || target.Body == nil {
-		m.fail(pos, "pure virtual method %s called on %s", mth.QualifiedName(), obj.Class.Name)
+		m.Fail(pos, "pure virtual method %s called on %s", mth.QualifiedName(), obj.Class.Name)
 	}
 	return target
 }
 
 // ---------------------------------------------------------------------------
 // new / delete
+//
+// The AST-level evaluators delegate to exported value-level helpers so the
+// VM shares the exact allocation protocol (ledger records included) with
+// the tree-walker.
 
-func (m *Machine) evalNew(f *frame, x *ast.New) Value {
+func (m *Machine) evalNew(f *Frame, x *ast.New) Value {
 	t := m.info.TypeExprs[x.Type]
 
 	if x.Len != nil { // new T[n]
-		n := int(m.evalExpr(f, x.Len).AsInt())
-		if n < 0 {
-			m.fail(x.Pos(), "negative array size %d in new[]", n)
-		}
-		blk := &HeapBlock{Array: true}
-		cells := make([]*Cell, n)
-		if cls := types.IsClass(t); cls != nil {
-			for i := range cells {
-				obj := m.newObject(cls, true)
-				m.constructObject(obj, cls.CtorByArity(0), nil)
-				cells[i] = &Cell{V: Value{K: KObj, Obj: obj}}
-				blk.Objs = append(blk.Objs, obj)
-			}
-		} else {
-			for i := range cells {
-				cells[i] = &Cell{V: m.zeroValue(t)}
-			}
-		}
-		blk.Cells = cells
-		return ptrV(Pointer{Arr: cells, arrp: true, Block: blk})
+		n := m.evalExpr(f, x.Len).AsInt()
+		return m.NewArray(x.Pos(), t, n)
 	}
 
 	if cls := types.IsClass(t); cls != nil { // new C(args)
-		obj := m.newObject(cls, true)
+		// The allocation (and its ledger record) precedes argument
+		// evaluation, matching constructor-call ordering.
+		obj := m.NewObject(cls, true)
 		args := m.evalArgs(f, x.Args)
-		m.constructObject(obj, m.info.NewCtors[x], args)
-		blk := &HeapBlock{Objs: []*Object{obj}}
-		return ptrV(Pointer{Obj: obj, Block: blk})
+		return m.FinishNew(obj, m.info.NewCtors[x], args)
 	}
 
 	// Scalar new.
-	cell := &Cell{V: m.zeroValue(t)}
+	var init *Value
 	if len(x.Args) == 1 {
 		v := m.evalExpr(f, x.Args[0])
-		m.storeInto(cell, m.convert(v, t))
+		init = &v
+	}
+	return m.NewScalar(t, init)
+}
+
+// NewArray implements new T[n] on an evaluated length.
+func (m *Machine) NewArray(pos source.Pos, t types.Type, n64 int64) Value {
+	n := int(n64)
+	if n < 0 {
+		m.Fail(pos, "negative array size %d in new[]", n)
+	}
+	blk := &HeapBlock{Array: true}
+	cells := make([]*Cell, n)
+	if cls := types.IsClass(t); cls != nil {
+		for i := range cells {
+			obj := m.NewObject(cls, true)
+			m.ConstructObject(obj, cls.CtorByArity(0), nil)
+			cells[i] = &Cell{V: Value{K: KObj, Obj: obj}}
+			blk.Objs = append(blk.Objs, obj)
+		}
+	} else {
+		for i := range cells {
+			cells[i] = &Cell{V: m.ZeroValue(t)}
+		}
+	}
+	blk.Cells = cells
+	return ptrV(Pointer{Arr: cells, arrp: true, Block: blk})
+}
+
+// FinishNew completes new C(args) on an already-allocated object.
+func (m *Machine) FinishNew(obj *Object, ctor *types.Func, args []Value) Value {
+	m.ConstructObject(obj, ctor, args)
+	blk := &HeapBlock{Objs: []*Object{obj}}
+	return ptrV(Pointer{Obj: obj, Block: blk})
+}
+
+// NewScalar implements scalar new T(init); init may be nil.
+func (m *Machine) NewScalar(t types.Type, init *Value) Value {
+	cell := &Cell{V: m.ZeroValue(t)}
+	if init != nil {
+		m.StoreInto(cell, m.Convert(*init, t))
 	}
 	blk := &HeapBlock{Cells: []*Cell{cell}}
 	return ptrV(Pointer{Cell: cell, Block: blk})
 }
 
-func (m *Machine) evalDelete(f *frame, x *ast.Delete) {
-	v := m.evalExpr(f, x.X)
+func (m *Machine) evalDelete(f *Frame, x *ast.Delete) {
+	m.DeleteValue(x.Pos(), m.evalExpr(f, x.X), x.Array)
+}
+
+// DeleteValue implements delete / delete[] on an evaluated operand.
+func (m *Machine) DeleteValue(pos source.Pos, v Value, isArray bool) {
 	if v.K != KPtr {
-		m.fail(x.Pos(), "delete of non-pointer")
+		m.Fail(pos, "delete of non-pointer")
 	}
 	p := v.P
 	if p.IsNull() {
@@ -130,88 +160,114 @@ func (m *Machine) evalDelete(f *frame, x *ast.Delete) {
 	}
 	blk := p.Block
 	if blk == nil {
-		m.fail(x.Pos(), "delete of pointer not obtained from new")
+		m.Fail(pos, "delete of pointer not obtained from new")
 	}
 	if blk.Freed {
-		m.fail(x.Pos(), "double delete")
+		m.Fail(pos, "double delete")
 	}
-	if x.Array != blk.Array {
+	if isArray != blk.Array {
 		if blk.Array {
-			m.fail(x.Pos(), "array allocated with new[] must be released with delete[]")
+			m.Fail(pos, "array allocated with new[] must be released with delete[]")
 		}
-		m.fail(x.Pos(), "scalar allocation must be released with delete, not delete[]")
+		m.Fail(pos, "scalar allocation must be released with delete, not delete[]")
 	}
 	blk.Freed = true
 	for i := len(blk.Objs) - 1; i >= 0; i-- {
-		m.destroyObject(blk.Objs[i])
+		m.DestroyObject(blk.Objs[i])
 	}
 }
 
 // ---------------------------------------------------------------------------
 // Builtins
+//
+// As with new/delete, the AST wrappers evaluate exactly the arguments the
+// tree-walker always evaluated and delegate to value-level helpers shared
+// with the VM.
 
-func (m *Machine) callBuiltin(f *frame, name string, x *ast.Call) Value {
+func (m *Machine) callBuiltin(f *Frame, name string, x *ast.Call) Value {
 	switch name {
 	case "print", "println":
 		if len(x.Args) == 1 {
-			m.printValue(f, x.Args[0])
+			m.PrintValueTyped(m.evalExpr(f, x.Args[0]), m.info.TypeOf(x.Args[0]))
 		}
 		if name == "println" {
-			fmt.Fprintln(m.out)
+			m.PrintNewline()
 		}
 		return Value{K: KVoid}
 	case "malloc":
-		n := int(m.evalExpr(f, x.Args[0]).AsInt())
-		if n < 0 {
-			m.fail(x.Pos(), "malloc of negative size %d", n)
-		}
-		cells := make([]*Cell, n)
-		for i := range cells {
-			cells[i] = &Cell{V: intV(0)}
-		}
-		blk := &HeapBlock{Cells: cells, Array: true}
-		return ptrV(Pointer{Arr: cells, arrp: true, Block: blk})
+		return m.Malloc(x.Pos(), m.evalExpr(f, x.Args[0]).AsInt())
 	case "free":
-		v := m.evalExpr(f, x.Args[0])
-		if v.K != KPtr || v.P.IsNull() {
-			return Value{K: KVoid} // free(nullptr) is a no-op
-		}
-		blk := v.P.Block
-		if blk == nil {
-			m.fail(x.Pos(), "free of pointer not obtained from an allocator")
-		}
-		if blk.Freed {
-			m.fail(x.Pos(), "double free")
-		}
-		blk.Freed = true
-		for i := len(blk.Objs) - 1; i >= 0; i-- {
-			m.destroyObject(blk.Objs[i])
-		}
-		return Value{K: KVoid}
+		return m.FreeValue(x.Pos(), m.evalExpr(f, x.Args[0]))
 	case "rand_seed":
-		m.rng = uint64(m.evalExpr(f, x.Args[0]).AsInt())*2862933555777941757 + 3037000493
-		return Value{K: KVoid}
+		return m.RandSeed(m.evalExpr(f, x.Args[0]).AsInt())
 	case "rand_next":
-		n := m.evalExpr(f, x.Args[0]).AsInt()
-		if n <= 0 {
-			m.fail(x.Pos(), "rand_next bound must be positive, got %d", n)
-		}
-		m.rng = m.rng*6364136223846793005 + 1442695040888963407
-		return intV(int64((m.rng >> 33) % uint64(n)))
+		return m.RandNext(x.Pos(), m.evalExpr(f, x.Args[0]).AsInt())
 	case "clock":
-		return intV(m.steps)
+		return m.ClockValue()
 	case "abort":
-		m.fail(x.Pos(), "abort() called")
+		m.Fail(x.Pos(), "abort() called")
 	}
-	m.fail(x.Pos(), "unknown builtin %s", name)
+	m.Fail(x.Pos(), "unknown builtin %s", name)
 	return Value{}
 }
 
-// printValue renders one print argument; char* prints as a NUL-terminated
-// string.
-func (m *Machine) printValue(f *frame, arg ast.Expr) {
-	v := m.evalExpr(f, arg)
-	t := m.info.TypeOf(arg)
+// Malloc implements the malloc builtin on an evaluated size.
+func (m *Machine) Malloc(pos source.Pos, n64 int64) Value {
+	n := int(n64)
+	if n < 0 {
+		m.Fail(pos, "malloc of negative size %d", n)
+	}
+	cells := make([]*Cell, n)
+	for i := range cells {
+		cells[i] = &Cell{V: intV(0)}
+	}
+	blk := &HeapBlock{Cells: cells, Array: true}
+	return ptrV(Pointer{Arr: cells, arrp: true, Block: blk})
+}
+
+// FreeValue implements the free builtin on an evaluated argument.
+func (m *Machine) FreeValue(pos source.Pos, v Value) Value {
+	if v.K != KPtr || v.P.IsNull() {
+		return Value{K: KVoid} // free(nullptr) is a no-op
+	}
+	blk := v.P.Block
+	if blk == nil {
+		m.Fail(pos, "free of pointer not obtained from an allocator")
+	}
+	if blk.Freed {
+		m.Fail(pos, "double free")
+	}
+	blk.Freed = true
+	for i := len(blk.Objs) - 1; i >= 0; i-- {
+		m.DestroyObject(blk.Objs[i])
+	}
+	return Value{K: KVoid}
+}
+
+// RandSeed implements the rand_seed builtin.
+func (m *Machine) RandSeed(v int64) Value {
+	m.rng = uint64(v)*2862933555777941757 + 3037000493
+	return Value{K: KVoid}
+}
+
+// RandNext implements the rand_next builtin.
+func (m *Machine) RandNext(pos source.Pos, n int64) Value {
+	if n <= 0 {
+		m.Fail(pos, "rand_next bound must be positive, got %d", n)
+	}
+	m.rng = m.rng*6364136223846793005 + 1442695040888963407
+	return intV(int64((m.rng >> 33) % uint64(n)))
+}
+
+// ClockValue implements the clock builtin: the executed-statement count.
+func (m *Machine) ClockValue() Value { return intV(m.steps) }
+
+// PrintNewline emits println's trailing newline.
+func (m *Machine) PrintNewline() { fmt.Fprintln(m.out) }
+
+// PrintValueTyped renders one print argument; char* (judged by the
+// argument's static type t) prints as a NUL-terminated string.
+func (m *Machine) PrintValueTyped(v Value, t types.Type) {
 	if p, ok := t.(*types.Pointer); ok {
 		if b, isBasic := p.Elem.(*types.Basic); isBasic && b.Kind == types.Char && v.K == KPtr && !v.P.IsNull() {
 			m.printCString(v.P)
@@ -221,7 +277,7 @@ func (m *Machine) printValue(f *frame, arg ast.Expr) {
 	fmt.Fprint(m.out, v.String())
 }
 
-func (m *Machine) printCString(p Pointer) {
+func (m *Machine) printCString(p *Pointer) {
 	if !p.arrp {
 		if p.Cell != nil {
 			fmt.Fprint(m.out, string(rune(byte(p.Cell.V.AsInt()))))

@@ -7,37 +7,38 @@ import (
 	"deadmembers/internal/types"
 )
 
-// lv is an evaluated lvalue: either a storage cell or a bare object (the
-// result of dereferencing an object pointer).
-type lv struct {
-	c   *Cell
-	obj *Object
+// Loc is an evaluated lvalue: either a storage cell or a bare object (the
+// result of dereferencing an object pointer). Exactly one of C and O is
+// set.
+type Loc struct {
+	C *Cell
+	O *Object
 }
 
-func (l lv) load() Value {
-	if l.c != nil {
-		return l.c.V
+func (l Loc) Load() Value {
+	if l.C != nil {
+		return l.C.V
 	}
-	return Value{K: KObj, Obj: l.obj}
+	return Value{K: KObj, Obj: l.O}
 }
 
-func (m *Machine) lvStore(l lv, v Value) {
-	if l.c != nil {
-		m.storeInto(l.c, v)
+func (m *Machine) StoreLoc(l Loc, v Value) {
+	if l.C != nil {
+		m.StoreInto(l.C, v)
 		return
 	}
 	if v.K == KObj && v.Obj != nil {
-		m.copyObject(l.obj, v.Obj)
+		m.CopyObject(l.O, v.Obj)
 	}
 }
 
 // objectOf extracts the class object an lvalue denotes.
-func (l lv) objectOf() *Object {
-	if l.obj != nil {
-		return l.obj
+func (l Loc) ObjectOf() *Object {
+	if l.O != nil {
+		return l.O
 	}
-	if l.c != nil && l.c.V.K == KObj {
-		return l.c.V.Obj
+	if l.C != nil && l.C.V.K == KObj {
+		return l.C.V.Obj
 	}
 	return nil
 }
@@ -45,7 +46,7 @@ func (l lv) objectOf() *Object {
 // ---------------------------------------------------------------------------
 // Expression evaluation
 
-func (m *Machine) evalExpr(f *frame, e ast.Expr) Value {
+func (m *Machine) evalExpr(f *Frame, e ast.Expr) Value {
 	switch x := e.(type) {
 	case *ast.Paren:
 		return m.evalExpr(f, x.X)
@@ -67,24 +68,24 @@ func (m *Machine) evalExpr(f *frame, e ast.Expr) Value {
 		cells[len(x.Value)] = &Cell{V: charV(0)}
 		return ptrV(Pointer{Arr: cells, arrp: true})
 	case *ast.ThisExpr:
-		if f.this == nil {
-			m.fail(x.Pos(), "this used with no receiver")
+		if f.This == nil {
+			m.Fail(x.Pos(), "this used with no receiver")
 		}
-		return ptrV(Pointer{Obj: f.this})
+		return ptrV(Pointer{Obj: f.This})
 	case *ast.Ident:
 		if fld := m.info.IdentFields[x]; fld != nil {
-			cell := m.fieldCell(x.Pos(), f.this, fld)
+			cell := m.FieldCell(x.Pos(), f.This, fld)
 			return cell.V
 		}
 		return m.varCell(f, x).V
 	case *ast.QualifiedIdent:
-		m.fail(x.Pos(), "qualified identifier %s::%s used as value", x.Class, x.Name)
+		m.Fail(x.Pos(), "qualified identifier %s::%s used as value", x.Class, x.Name)
 	case *ast.Unary:
 		return m.evalUnary(f, x)
 	case *ast.Postfix:
 		l := m.evalLValue(f, x.X)
-		old := l.load()
-		m.lvStore(l, m.incDec(x.Pos(), old, x.Op == token.Inc))
+		old := l.Load()
+		m.StoreLoc(l, m.IncDec(x.Pos(), old, x.Op == token.Inc))
 		return old
 	case *ast.Binary:
 		return m.evalBinary(f, x)
@@ -97,18 +98,18 @@ func (m *Machine) evalExpr(f *frame, e ast.Expr) Value {
 		return m.evalExpr(f, x.Else)
 	case *ast.Member:
 		l := m.evalLValue(f, x)
-		return l.load()
+		return l.Load()
 	case *ast.MemberPtrDeref:
 		l := m.evalLValue(f, x)
-		return l.load()
+		return l.Load()
 	case *ast.Index:
 		l := m.evalLValue(f, x)
-		return l.load()
+		return l.Load()
 	case *ast.Call:
 		return m.evalCall(f, x)
 	case *ast.Cast:
 		v := m.evalExpr(f, x.X)
-		return m.convert(v, m.info.TypeExprs[x.Type])
+		return m.Convert(v, m.info.TypeExprs[x.Type])
 	case *ast.New:
 		return m.evalNew(f, x)
 	case *ast.Delete:
@@ -123,145 +124,152 @@ func (m *Machine) evalExpr(f *frame, e ast.Expr) Value {
 		}
 		return intV(int64(m.h.SizeOf(t)))
 	}
-	m.fail(e.Pos(), "unsupported expression")
+	m.Fail(e.Pos(), "unsupported expression")
 	return Value{}
 }
 
 // varCell resolves a plain identifier to its storage cell.
-func (m *Machine) varCell(f *frame, x *ast.Ident) *Cell {
+func (m *Machine) varCell(f *Frame, x *ast.Ident) *Cell {
 	v := m.info.IdentVars[x]
 	if v == nil {
-		m.fail(x.Pos(), "unresolved identifier %s", x.Name)
+		m.Fail(x.Pos(), "unresolved identifier %s", x.Name)
 	}
-	if c, ok := f.vars[v]; ok {
+	if c, ok := f.Vars[v]; ok {
 		return c
 	}
 	if c, ok := m.globals[v]; ok {
 		return c
 	}
-	m.fail(x.Pos(), "variable %s has no storage (not in scope)", x.Name)
+	m.Fail(x.Pos(), "variable %s has no storage (not in scope)", x.Name)
 	return nil
 }
 
 // fieldCell locates the cell of fld inside obj.
-func (m *Machine) fieldCell(pos source.Pos, obj *Object, fld *types.Field) *Cell {
+func (m *Machine) FieldCell(pos source.Pos, obj *Object, fld *types.Field) *Cell {
 	if obj == nil {
-		m.fail(pos, "member %s accessed with null receiver", fld.QualifiedName())
+		m.Fail(pos, "member %s accessed with null receiver", fld.QualifiedName())
 	}
 	c, ok := obj.Cell(fld)
 	if !ok {
-		m.fail(pos, "object of class %s has no member %s (invalid downcast?)",
+		m.Fail(pos, "object of class %s has no member %s (invalid downcast?)",
 			obj.Class.Name, fld.QualifiedName())
 	}
 	return c
 }
 
 // evalLValue evaluates e as an assignable location.
-func (m *Machine) evalLValue(f *frame, e ast.Expr) lv {
+func (m *Machine) evalLValue(f *Frame, e ast.Expr) Loc {
 	switch x := e.(type) {
 	case *ast.Paren:
 		return m.evalLValue(f, x.X)
 	case *ast.Ident:
 		if fld := m.info.IdentFields[x]; fld != nil {
-			return lv{c: m.fieldCell(x.Pos(), f.this, fld)}
+			return Loc{C: m.FieldCell(x.Pos(), f.This, fld)}
 		}
-		return lv{c: m.varCell(f, x)}
+		return Loc{C: m.varCell(f, x)}
 	case *ast.Member:
 		obj := m.receiverObject(f, x.X, x.Arrow)
 		fld := m.info.FieldRefs[x]
 		if fld == nil {
-			m.fail(x.Pos(), "member %s did not resolve to a data member", x.Name)
+			m.Fail(x.Pos(), "member %s did not resolve to a data member", x.Name)
 		}
-		return lv{c: m.fieldCell(x.Pos(), obj, fld)}
+		return Loc{C: m.FieldCell(x.Pos(), obj, fld)}
 	case *ast.MemberPtrDeref:
 		obj := m.receiverObject(f, x.X, x.Arrow)
 		pv := m.evalExpr(f, x.Ptr)
 		if pv.K != KMemberPtr || pv.MP == nil {
-			m.fail(x.Pos(), "dereference of null pointer-to-member")
+			m.Fail(x.Pos(), "dereference of null pointer-to-member")
 		}
-		return lv{c: m.fieldCell(x.Pos(), obj, pv.MP)}
+		return Loc{C: m.FieldCell(x.Pos(), obj, pv.MP)}
 	case *ast.Index:
 		base := m.evalExpr(f, x.X)
 		idx := int(m.evalExpr(f, x.I).AsInt())
 		switch base.K {
 		case KArr:
-			if idx < 0 || idx >= len(base.Arr) {
-				m.fail(x.Pos(), "array index %d out of range [0,%d)", idx, len(base.Arr))
+			cells := base.Cells()
+			if idx < 0 || idx >= len(cells) {
+				m.Fail(x.Pos(), "array index %d out of range [0,%d)", idx, len(cells))
 			}
-			return lv{c: base.Arr[idx]}
+			return Loc{C: cells[idx]}
 		case KPtr:
-			return m.pointerElem(x.Pos(), base.P, idx)
+			return m.PointerElem(x.Pos(), base.P, idx)
 		}
-		m.fail(x.Pos(), "indexing non-array value")
+		m.Fail(x.Pos(), "indexing non-array value")
 	case *ast.Unary:
 		if x.Op == token.Star {
 			p := m.evalExpr(f, x.X)
 			if p.K != KPtr {
-				m.fail(x.Pos(), "dereference of non-pointer")
+				m.Fail(x.Pos(), "dereference of non-pointer")
 			}
-			return m.pointerElem(x.Pos(), p.P, 0)
+			return m.PointerElem(x.Pos(), p.P, 0)
 		}
 	}
-	m.fail(e.Pos(), "expression is not an lvalue at run time")
-	return lv{}
+	m.Fail(e.Pos(), "expression is not an lvalue at run time")
+	return Loc{}
 }
 
 // pointerElem resolves ptr+delta to a location, checking null,
 // use-after-free, and bounds.
-func (m *Machine) pointerElem(pos source.Pos, p Pointer, delta int) lv {
+func (m *Machine) PointerElem(pos source.Pos, p *Pointer, delta int) Loc {
 	if p.IsNull() {
-		m.fail(pos, "null pointer dereference")
+		m.Fail(pos, "null pointer dereference")
 	}
 	if p.Block != nil && p.Block.Freed {
-		m.fail(pos, "use after free")
+		m.Fail(pos, "use after free")
 	}
 	switch {
 	case p.Obj != nil:
 		if delta != 0 {
-			m.fail(pos, "pointer arithmetic on object pointer")
+			m.Fail(pos, "pointer arithmetic on object pointer")
 		}
-		return lv{obj: p.Obj}
+		return Loc{O: p.Obj}
 	case p.Cell != nil:
 		if delta != 0 {
-			m.fail(pos, "pointer arithmetic on non-array pointer")
+			m.Fail(pos, "pointer arithmetic on non-array pointer")
 		}
-		return lv{c: p.Cell}
+		return Loc{C: p.Cell}
 	default:
 		i := p.Idx + delta
 		if i < 0 || i >= len(p.Arr) {
-			m.fail(pos, "pointer index %d out of range [0,%d)", i, len(p.Arr))
+			m.Fail(pos, "pointer index %d out of range [0,%d)", i, len(p.Arr))
 		}
-		return lv{c: p.Arr[i]}
+		return Loc{C: p.Arr[i]}
 	}
 }
 
 // receiverObject evaluates a member-access receiver to an object.
-func (m *Machine) receiverObject(f *frame, e ast.Expr, arrow bool) *Object {
-	v := m.evalExpr(f, e)
+func (m *Machine) receiverObject(f *Frame, e ast.Expr, arrow bool) *Object {
+	return m.ReceiverFromValue(e.Pos(), m.evalExpr(f, e), arrow)
+}
+
+// ReceiverFromValue converts an already-evaluated member-access receiver
+// to an object; pos is the receiver expression's position (used by the
+// failure diagnostics, which are shared verbatim with the tree-walker).
+func (m *Machine) ReceiverFromValue(pos source.Pos, v Value, arrow bool) *Object {
 	if arrow {
 		if v.K != KPtr {
-			m.fail(e.Pos(), "-> on non-pointer value")
+			m.Fail(pos, "-> on non-pointer value")
 		}
-		l := m.pointerElem(e.Pos(), v.P, 0)
-		obj := l.objectOf()
+		l := m.PointerElem(pos, v.P, 0)
+		obj := l.ObjectOf()
 		if obj == nil {
-			m.fail(e.Pos(), "-> target is not a class object")
+			m.Fail(pos, "-> target is not a class object")
 		}
 		return obj
 	}
 	if v.K != KObj || v.Obj == nil {
-		m.fail(e.Pos(), "member access on non-object value")
+		m.Fail(pos, "member access on non-object value")
 	}
 	return v.Obj
 }
 
-func (m *Machine) evalUnary(f *frame, x *ast.Unary) Value {
+func (m *Machine) evalUnary(f *Frame, x *ast.Unary) Value {
 	switch x.Op {
 	case token.Amp:
 		if qi, ok := ast.Unparen(x.X).(*ast.QualifiedIdent); ok {
 			fld := m.info.QualFieldRefs[qi]
 			if fld == nil {
-				m.fail(x.Pos(), "unresolved pointer-to-member &%s::%s", qi.Class, qi.Name)
+				m.Fail(x.Pos(), "unresolved pointer-to-member &%s::%s", qi.Class, qi.Name)
 			}
 			return memberPtrV(fld)
 		}
@@ -272,26 +280,27 @@ func (m *Machine) evalUnary(f *frame, x *ast.Unary) Value {
 			idx := int(m.evalExpr(f, ix.I).AsInt())
 			switch base.K {
 			case KArr:
-				if idx < 0 || idx > len(base.Arr) {
-					m.fail(x.Pos(), "&array[%d] out of range [0,%d]", idx, len(base.Arr))
+				cells := base.Cells()
+				if idx < 0 || idx > len(cells) {
+					m.Fail(x.Pos(), "&array[%d] out of range [0,%d]", idx, len(cells))
 				}
-				return ptrV(Pointer{Arr: base.Arr, Idx: idx, arrp: true})
+				return ptrV(Pointer{Arr: cells, Idx: idx, arrp: true})
 			case KPtr:
 				if base.P.arrp {
-					p := base.P
+					p := *base.P
 					p.Idx += idx
 					return ptrV(p)
 				}
 			}
 		}
 		l := m.evalLValue(f, x.X)
-		if obj := l.objectOf(); obj != nil && (l.c == nil || l.c.V.K == KObj) {
+		if obj := l.ObjectOf(); obj != nil && (l.C == nil || l.C.V.K == KObj) {
 			return ptrV(Pointer{Obj: obj})
 		}
-		return ptrV(Pointer{Cell: l.c})
+		return ptrV(Pointer{Cell: l.C})
 	case token.Star:
 		l := m.evalLValue(f, x)
-		return l.load()
+		return l.Load()
 	case token.Minus:
 		v := m.evalExpr(f, x.X)
 		if v.K == KDouble {
@@ -304,15 +313,15 @@ func (m *Machine) evalUnary(f *frame, x *ast.Unary) Value {
 		return intV(^m.evalExpr(f, x.X).AsInt())
 	case token.Inc, token.Dec:
 		l := m.evalLValue(f, x.X)
-		nv := m.incDec(x.Pos(), l.load(), x.Op == token.Inc)
-		m.lvStore(l, nv)
+		nv := m.IncDec(x.Pos(), l.Load(), x.Op == token.Inc)
+		m.StoreLoc(l, nv)
 		return nv
 	}
-	m.fail(x.Pos(), "unsupported unary operator %s", x.Op)
+	m.Fail(x.Pos(), "unsupported unary operator %s", x.Op)
 	return Value{}
 }
 
-func (m *Machine) incDec(pos source.Pos, v Value, inc bool) Value {
+func (m *Machine) IncDec(pos source.Pos, v Value, inc bool) Value {
 	d := int64(1)
 	if !inc {
 		d = -1
@@ -321,9 +330,9 @@ func (m *Machine) incDec(pos source.Pos, v Value, inc bool) Value {
 	case KDouble:
 		return doubleV(v.F + float64(d))
 	case KPtr:
-		p := v.P
+		p := *v.P
 		if p.Cell != nil || p.Obj != nil {
-			m.fail(pos, "pointer arithmetic on non-array pointer")
+			m.Fail(pos, "pointer arithmetic on non-array pointer")
 		}
 		p.Idx += int(d)
 		return ptrV(p)
@@ -334,27 +343,27 @@ func (m *Machine) incDec(pos source.Pos, v Value, inc bool) Value {
 	}
 }
 
-func (m *Machine) evalAssign(f *frame, x *ast.Assign) Value {
+func (m *Machine) evalAssign(f *Frame, x *ast.Assign) Value {
 	l := m.evalLValue(f, x.LHS)
 	rhs := m.evalExpr(f, x.RHS)
 	if x.Op == token.Assign {
 		// Convert to the static type of the LHS for numeric narrowing.
 		if lt := m.info.TypeOf(x.LHS); lt != nil {
-			rhs = m.convert(rhs, lt)
+			rhs = m.Convert(rhs, lt)
 		}
-		m.lvStore(l, rhs)
-		return l.load()
+		m.StoreLoc(l, rhs)
+		return l.Load()
 	}
-	old := l.load()
-	res := m.applyBinary(x.Pos(), x.Op.CompoundBase(), old, rhs)
+	old := l.Load()
+	res := m.ApplyBinary(x.Pos(), x.Op.CompoundBase(), old, rhs)
 	if lt := m.info.TypeOf(x.LHS); lt != nil {
-		res = m.convert(res, lt)
+		res = m.Convert(res, lt)
 	}
-	m.lvStore(l, res)
+	m.StoreLoc(l, res)
 	return res
 }
 
-func (m *Machine) evalBinary(f *frame, x *ast.Binary) Value {
+func (m *Machine) evalBinary(f *Frame, x *ast.Binary) Value {
 	// Short-circuit logical operators.
 	switch x.Op {
 	case token.AmpAmp:
@@ -370,10 +379,10 @@ func (m *Machine) evalBinary(f *frame, x *ast.Binary) Value {
 	}
 	a := m.evalExpr(f, x.X)
 	b := m.evalExpr(f, x.Y)
-	return m.applyBinary(x.Pos(), x.Op, a, b)
+	return m.ApplyBinary(x.Pos(), x.Op, a, b)
 }
 
-func (m *Machine) applyBinary(pos source.Pos, op token.Kind, a, b Value) Value {
+func (m *Machine) ApplyBinary(pos source.Pos, op token.Kind, a, b Value) Value {
 	// Pointer-to-member comparisons (including against the null constant,
 	// whose MP field is nil) take precedence over plain pointer handling.
 	if a.K == KMemberPtr || b.K == KMemberPtr {
@@ -383,7 +392,7 @@ func (m *Machine) applyBinary(pos source.Pos, op token.Kind, a, b Value) Value {
 		case token.Ne:
 			return boolV(a.MP != b.MP)
 		}
-		m.fail(pos, "invalid operation on pointer-to-member")
+		m.Fail(pos, "invalid operation on pointer-to-member")
 	}
 	// Pointer arithmetic and comparisons.
 	if a.K == KPtr || b.K == KPtr {
@@ -400,7 +409,7 @@ func (m *Machine) applyBinary(pos source.Pos, op token.Kind, a, b Value) Value {
 			return doubleV(x * y)
 		case token.Slash:
 			if y == 0 {
-				m.fail(pos, "floating division by zero")
+				m.Fail(pos, "floating division by zero")
 			}
 			return doubleV(x / y)
 		case token.Eq:
@@ -416,7 +425,7 @@ func (m *Machine) applyBinary(pos source.Pos, op token.Kind, a, b Value) Value {
 		case token.Ge:
 			return boolV(x >= y)
 		}
-		m.fail(pos, "invalid floating operation %s", op)
+		m.Fail(pos, "invalid floating operation %s", op)
 	}
 	x, y := a.AsInt(), b.AsInt()
 	switch op {
@@ -428,12 +437,12 @@ func (m *Machine) applyBinary(pos source.Pos, op token.Kind, a, b Value) Value {
 		return intV(x * y)
 	case token.Slash:
 		if y == 0 {
-			m.fail(pos, "integer division by zero")
+			m.Fail(pos, "integer division by zero")
 		}
 		return intV(x / y)
 	case token.Percent:
 		if y == 0 {
-			m.fail(pos, "integer modulo by zero")
+			m.Fail(pos, "integer modulo by zero")
 		}
 		return intV(x % y)
 	case token.Shl:
@@ -459,13 +468,15 @@ func (m *Machine) applyBinary(pos source.Pos, op token.Kind, a, b Value) Value {
 	case token.Ge:
 		return boolV(x >= y)
 	}
-	m.fail(pos, "invalid integer operation %s", op)
+	m.Fail(pos, "invalid integer operation %s", op)
 	return Value{}
 }
 
 // ptrIdentity canonicalizes a pointer for comparison.
-func ptrIdentity(p Pointer) (interface{}, int) {
+func ptrIdentity(p *Pointer) (interface{}, int) {
 	switch {
+	case p == nil:
+		return nil, -1 // null
 	case p.Obj != nil:
 		return p.Obj, 0
 	case p.Cell != nil:
@@ -488,10 +499,10 @@ func (m *Machine) pointerBinary(pos source.Pos, op token.Kind, a, b Value) Value
 			if op == token.Minus {
 				d = -d
 			}
-			p := a.P
+			p := *a.P
 			if p.Cell != nil || p.Obj != nil {
 				if d != 0 {
-					m.fail(pos, "pointer arithmetic on non-array pointer")
+					m.Fail(pos, "pointer arithmetic on non-array pointer")
 				}
 				return a
 			}
@@ -504,7 +515,7 @@ func (m *Machine) pointerBinary(pos source.Pos, op token.Kind, a, b Value) Value
 		if a.K == KPtr && b.K == KPtr && op == token.Minus {
 			if !a.P.arrp || !b.P.arrp ||
 				len(a.P.Arr) == 0 || len(b.P.Arr) == 0 || a.P.Arr[0] != b.P.Arr[0] {
-				m.fail(pos, "subtraction of pointers into different allocations")
+				m.Fail(pos, "subtraction of pointers into different allocations")
 			}
 			return intV(int64(a.P.Idx - b.P.Idx))
 		}
@@ -515,14 +526,14 @@ func (m *Machine) pointerBinary(pos source.Pos, op token.Kind, a, b Value) Value
 			if na.AsInt() == 0 {
 				na = nullV()
 			} else {
-				m.fail(pos, "comparison of pointer with non-zero integer")
+				m.Fail(pos, "comparison of pointer with non-zero integer")
 			}
 		}
 		if nb.K != KPtr {
 			if nb.AsInt() == 0 {
 				nb = nullV()
 			} else {
-				m.fail(pos, "comparison of pointer with non-zero integer")
+				m.Fail(pos, "comparison of pointer with non-zero integer")
 			}
 		}
 		ia, oa := ptrIdentity(na.P)
@@ -542,12 +553,12 @@ func (m *Machine) pointerBinary(pos source.Pos, op token.Kind, a, b Value) Value
 			return boolV(oa >= ob)
 		}
 	}
-	m.fail(pos, "invalid pointer operation %s", op)
+	m.Fail(pos, "invalid pointer operation %s", op)
 	return Value{}
 }
 
 // convert adapts v to type t (numeric conversions, pointer passthrough).
-func (m *Machine) convert(v Value, t types.Type) Value {
+func (m *Machine) Convert(v Value, t types.Type) Value {
 	switch x := t.(type) {
 	case *types.Basic:
 		switch x.Kind {

@@ -38,6 +38,28 @@ type Options struct {
 	// (every 1024 steps, alongside the MaxSteps check). Cancellation or
 	// deadline expiry aborts the run with a *CancelError.
 	Context context.Context
+
+	// FileSet, when non-nil, lets runtime diagnostics (currently the
+	// step-budget exhaustion error) name the source position of the
+	// statement that tripped them.
+	FileSet *source.FileSet
+
+	// Executor, when non-nil, is offered every function body before the
+	// tree-walker runs it. The bytecode VM (internal/vm) plugs in here;
+	// construction/destruction protocol, globals, builtins, the ledger,
+	// and the step counter stay on this shared runtime core, which is
+	// what keeps the two engines' instrumented heaps byte-identical.
+	Executor Executor
+}
+
+// Executor runs function bodies on behalf of the interpreter. ExecBody
+// returns (value, true) when it executed fn's body in frame f, or
+// (zero, false) to decline — the tree-walker then runs the body. An
+// executor must preserve the tree-walker's observable semantics exactly:
+// statement step accounting (Machine.Step), evaluation order, ledger
+// records, and error positions/messages.
+type Executor interface {
+	ExecBody(m *Machine, f *Frame, fn *types.Func) (Value, bool)
 }
 
 // Result reports a completed execution.
@@ -89,6 +111,8 @@ type Machine struct {
 	maxDepth int
 	rng      uint64
 	ctx      context.Context
+	fset     *source.FileSet
+	plans    map[*types.Class]*FieldPlan
 }
 
 // Run executes prog from main under opts.
@@ -106,6 +130,8 @@ func Run(prog *types.Program, h *hierarchy.Graph, opts Options) (res *Result, er
 		maxDepth: opts.MaxDepth,
 		rng:      0x2545F4914F6CDD1D,
 		ctx:      opts.Context,
+		fset:     opts.FileSet,
+		plans:    map[*types.Class]*FieldPlan{},
 	}
 	if m.maxSteps <= 0 {
 		m.maxSteps = 200_000_000
@@ -137,7 +163,7 @@ func Run(prog *types.Program, h *hierarchy.Graph, opts Options) (res *Result, er
 	}()
 
 	m.initGlobals()
-	ret := m.callFunction(prog.Main, nil, nil)
+	ret := m.CallFunction(prog.Main, nil, nil)
 	m.destroyGlobals()
 
 	res = &Result{ExitCode: int(ret.AsInt()), Steps: m.steps}
@@ -147,60 +173,103 @@ func Run(prog *types.Program, h *hierarchy.Graph, opts Options) (res *Result, er
 	return res, nil
 }
 
-func (m *Machine) fail(pos source.Pos, format string, args ...interface{}) {
+func (m *Machine) Fail(pos source.Pos, format string, args ...interface{}) {
 	panic(&RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }
 
-func (m *Machine) step(pos source.Pos) {
+// Step accounts one executed statement at pos in frame f. It is called
+// at the start of every statement by both engines; the step counter is
+// program-observable (the clock() builtin), so an Executor must call it
+// exactly where the tree-walker would.
+func (m *Machine) Step(f *Frame, pos source.Pos) {
 	m.steps++
 	if m.steps > m.maxSteps {
-		m.fail(pos, "step limit exceeded (%d)", m.maxSteps)
+		m.StepLimitExceeded(f, pos)
 	}
 	if m.ctx != nil && m.steps&1023 == 0 {
-		if err := m.ctx.Err(); err != nil {
-			panic(&CancelError{Err: err})
-		}
+		m.StepContextPoll()
 	}
 }
 
-// frame is one function activation.
-type frame struct {
-	fn     *types.Func
-	vars   map[*types.Var]*Cell
-	this   *Object
-	locals []*Object // counted local class objects, destroyed at exit
+// StepCounter exposes the live step counter, the limit, and whether a
+// context is installed, so a bytecode engine can inline the
+// per-statement accounting instead of calling Step. The counter is the
+// same one clock() reads, so inlined increments stay observable; the
+// engine must mirror Step exactly — increment, then StepLimitExceeded
+// past the limit, then StepContextPoll on every 1024th step.
+func (m *Machine) StepCounter() (counter *int64, limit int64, poll bool) {
+	return &m.steps, m.maxSteps, m.ctx != nil
+}
+
+// StepLimitExceeded reports step exhaustion exactly as Step does:
+// with the statement position and enclosing function when available.
+func (m *Machine) StepLimitExceeded(f *Frame, pos source.Pos) {
+	unit := "<unnamed>"
+	if f != nil && f.Fn != nil {
+		unit = f.Fn.QualifiedName()
+	}
+	if m.fset != nil && pos != source.NoPos {
+		m.Fail(pos, "step limit exceeded (%d) at %s in %s", m.maxSteps, m.fset.Position(pos), unit)
+	}
+	m.Fail(pos, "step limit exceeded (%d) in %s", m.maxSteps, unit)
+}
+
+// StepContextPoll is Step's cancellation check, split out for engines
+// that inline the counter.
+func (m *Machine) StepContextPoll() {
+	if err := m.ctx.Err(); err != nil {
+		panic(&CancelError{Err: err})
+	}
+}
+
+// Frame is one function activation. Exported so an alternative
+// Executor (the bytecode VM in internal/vm) can run function bodies on
+// the shared runtime core.
+type Frame struct {
+	Fn   *types.Func
+	Vars map[*types.Var]*Cell
+	This *Object
+
+	// Params holds the parameter cells in declaration order — the same
+	// cells registered in Vars, exposed positionally so a slot-based
+	// executor can bind them without map lookups.
+	Params []*Cell
+
+	// Locals are the counted local class objects, destroyed in reverse
+	// order at function exit (or scope exit, via PopScope).
+	Locals []*Object
 }
 
 // initGlobals allocates and initializes global variables in declaration
 // order.
 func (m *Machine) initGlobals() {
-	f := &frame{vars: map[*types.Var]*Cell{}}
+	f := &Frame{Vars: map[*types.Var]*Cell{}}
 	for _, g := range m.prog.Globals {
-		cell := &Cell{V: m.zeroValue(g.Type)}
+		cell := &Cell{V: m.ZeroValue(g.Type)}
 		m.globals[g] = cell
 		d := g.Decl
 		switch {
 		case d.Init != nil:
 			v := m.evalExpr(f, d.Init)
-			m.storeInto(cell, m.convert(v, g.Type))
+			m.StoreInto(cell, m.Convert(v, g.Type))
 		case types.IsClass(g.Type) != nil:
 			cls := types.IsClass(g.Type)
-			obj := m.newObject(cls, true)
+			obj := m.NewObject(cls, true)
 			ctor := m.info.VarCtors[d]
 			var args []Value
 			for _, a := range d.CtorArgs {
 				args = append(args, m.evalExpr(f, a))
 			}
-			m.constructObject(obj, ctor, args)
+			m.ConstructObject(obj, ctor, args)
 			cell.V = Value{K: KObj, Obj: obj}
 			m.gObjs = append(m.gObjs, obj)
 		default:
 			if arr, ok := g.Type.(*types.Array); ok {
-				cell.V = m.makeArray(arr, &m.gObjs)
+				cell.V = m.MakeArray(arr, &m.gObjs)
 			}
 			if len(d.CtorArgs) == 1 {
 				v := m.evalExpr(f, d.CtorArgs[0])
-				m.storeInto(cell, m.convert(v, g.Type))
+				m.StoreInto(cell, m.Convert(v, g.Type))
 			}
 		}
 	}
@@ -208,7 +277,7 @@ func (m *Machine) initGlobals() {
 
 func (m *Machine) destroyGlobals() {
 	for i := len(m.gObjs) - 1; i >= 0; i-- {
-		m.destroyObject(m.gObjs[i])
+		m.DestroyObject(m.gObjs[i])
 	}
 }
 
@@ -217,7 +286,7 @@ func (m *Machine) destroyGlobals() {
 
 // zeroValue builds the zero value of a type; class types get fresh
 // (uncounted) raw objects and arrays get fresh cells.
-func (m *Machine) zeroValue(t types.Type) Value {
+func (m *Machine) ZeroValue(t types.Type) Value {
 	switch x := t.(type) {
 	case *types.Basic:
 		switch x.Kind {
@@ -235,39 +304,42 @@ func (m *Machine) zeroValue(t types.Type) Value {
 	case *types.MemberPointer:
 		return Value{K: KMemberPtr}
 	case *types.Class:
-		return Value{K: KObj, Obj: m.newObject(x, false)}
+		return Value{K: KObj, Obj: m.NewObject(x, false)}
 	case *types.Array:
 		cells := make([]*Cell, x.Len)
 		for i := range cells {
-			cells[i] = &Cell{V: m.zeroValue(x.Elem)}
+			cells[i] = &Cell{V: m.ZeroValue(x.Elem)}
 		}
-		return Value{K: KArr, Arr: cells}
+		return arrV(cells)
 	}
 	return intV(0)
 }
 
 // makeArray builds an array value for a local/global declaration,
 // registering counted class elements for destruction via objs.
-func (m *Machine) makeArray(arr *types.Array, objs *[]*Object) Value {
+func (m *Machine) MakeArray(arr *types.Array, objs *[]*Object) Value {
 	cells := make([]*Cell, arr.Len)
 	for i := range cells {
 		if ec := types.IsClass(arr.Elem); ec != nil {
-			obj := m.newObject(ec, true)
-			m.constructObject(obj, ec.CtorByArity(0), nil)
+			obj := m.NewObject(ec, true)
+			m.ConstructObject(obj, ec.CtorByArity(0), nil)
 			cells[i] = &Cell{V: Value{K: KObj, Obj: obj}}
 			*objs = append(*objs, obj)
 		} else {
-			cells[i] = &Cell{V: m.zeroValue(arr.Elem)}
+			cells[i] = &Cell{V: m.ZeroValue(arr.Elem)}
 		}
 	}
-	return Value{K: KArr, Arr: cells}
+	return arrV(cells)
 }
 
-// newObject allocates an object of class cls with zeroed cells for every
-// distinct member (shared virtual bases appear once). counted objects are
-// reported to the ledger and destructed with ledger balance.
-func (m *Machine) newObject(cls *types.Class, counted bool) *Object {
-	obj := &Object{Class: cls, Fields: map[*types.Field]*Cell{}}
+// PlanOf returns the (per-run cached) field plan of cls: the distinct
+// data members in deterministic order — own fields first, then bases
+// depth-first, members shared through virtual bases once.
+func (m *Machine) PlanOf(cls *types.Class) *FieldPlan {
+	if p, ok := m.plans[cls]; ok {
+		return p
+	}
+	p := &FieldPlan{Index: map[*types.Field]int{}}
 	seen := map[*types.Class]bool{}
 	var add func(c *types.Class)
 	add = func(c *types.Class) {
@@ -276,8 +348,9 @@ func (m *Machine) newObject(cls *types.Class, counted bool) *Object {
 		}
 		seen[c] = true
 		for _, f := range c.Fields {
-			if _, dup := obj.Fields[f]; !dup {
-				obj.Fields[f] = &Cell{V: m.zeroValue(f.Type)}
+			if _, dup := p.Index[f]; !dup {
+				p.Index[f] = len(p.Fields)
+				p.Fields = append(p.Fields, f)
 			}
 		}
 		for _, b := range c.Bases {
@@ -285,6 +358,20 @@ func (m *Machine) newObject(cls *types.Class, counted bool) *Object {
 		}
 	}
 	add(cls)
+	m.plans[cls] = p
+	return p
+}
+
+// NewObject allocates an object of class cls with zeroed cells for every
+// distinct member (shared virtual bases appear once). counted objects are
+// reported to the ledger and destructed with ledger balance.
+func (m *Machine) NewObject(cls *types.Class, counted bool) *Object {
+	plan := m.PlanOf(cls)
+	cells := make([]*Cell, len(plan.Fields))
+	for i, f := range plan.Fields {
+		cells[i] = &Cell{V: m.ZeroValue(f.Type)}
+	}
+	obj := &Object{Class: cls, Plan: plan, Cells: cells}
 
 	if counted {
 		lay := m.h.LayoutOf(cls)
@@ -305,7 +392,7 @@ func (m *Machine) newObject(cls *types.Class, counted bool) *Object {
 // constructObject runs the full construction protocol on obj: virtual
 // bases (most-derived), then the selected constructor's base/member init
 // chain and body. ctor may be nil (default construction).
-func (m *Machine) constructObject(obj *Object, ctor *types.Func, args []Value) {
+func (m *Machine) ConstructObject(obj *Object, ctor *types.Func, args []Value) {
 	cls := obj.Class
 	// Virtual bases are initialized once, by the most-derived object.
 	for _, vb := range m.h.VirtualBases(cls) {
@@ -332,7 +419,7 @@ func (m *Machine) findInit(ctor *types.Func, name string) (*ast.CtorInit, bool) 
 
 // runCtorInitTarget constructs virtual base vb using the init entry found
 // in the most-derived constructor; the entry's arguments are evaluated in
-// that constructor's frame.
+// that constructor's Frame.
 func (m *Machine) runCtorInitTarget(obj *Object, ctor *types.Func, args []Value, vb *types.Class, init *ast.CtorInit) {
 	f := m.ctorFrame(obj, ctor, args)
 	var vals []Value
@@ -342,18 +429,20 @@ func (m *Machine) runCtorInitTarget(obj *Object, ctor *types.Func, args []Value,
 	m.runClassCtor(obj, vb, vb.CtorByArity(len(init.Args)), vals, false)
 }
 
-// ctorFrame builds a frame for evaluating a constructor's initializer
+// ctorFrame builds a Frame for evaluating a constructor's initializer
 // arguments (parameters bound, this set).
-func (m *Machine) ctorFrame(obj *Object, ctor *types.Func, args []Value) *frame {
-	f := &frame{fn: ctor, vars: map[*types.Var]*Cell{}, this: obj}
+func (m *Machine) ctorFrame(obj *Object, ctor *types.Func, args []Value) *Frame {
+	f := &Frame{Fn: ctor, Vars: map[*types.Var]*Cell{}, This: obj}
 	for i, p := range ctor.Params {
 		var v Value
 		if i < len(args) {
 			v = args[i]
 		} else {
-			v = m.zeroValue(p.Type)
+			v = m.ZeroValue(p.Type)
 		}
-		f.vars[p] = &Cell{V: v}
+		cell := &Cell{V: v}
+		f.Vars[p] = cell
+		f.Params = append(f.Params, cell)
 	}
 	return f
 }
@@ -401,17 +490,17 @@ func (m *Machine) runClassCtor(obj *Object, cls *types.Class, ctor *types.Func, 
 		if init, ok := m.findInit(ctor, fld.Name); ok {
 			cell, okc := obj.Cell(fld)
 			if !okc {
-				m.fail(ctor.Pos, "internal: missing cell for %s", fld.QualifiedName())
+				m.Fail(ctor.Pos, "internal: missing cell for %s", fld.QualifiedName())
 			}
 			if mc := types.IsClass(fld.Type); mc != nil {
 				var vals []Value
 				for _, a := range init.Args {
 					vals = append(vals, m.evalExpr(f, a))
 				}
-				m.constructObject(cell.V.Obj, mc.CtorByArity(len(init.Args)), vals)
+				m.ConstructObject(cell.V.Obj, mc.CtorByArity(len(init.Args)), vals)
 			} else {
 				v := m.evalExpr(f, init.Args[0])
-				m.storeInto(cell, m.convert(v, fld.Type))
+				m.StoreInto(cell, m.Convert(v, fld.Type))
 			}
 		} else {
 			m.defaultConstructMember(obj, fld)
@@ -432,21 +521,21 @@ func (m *Machine) defaultConstructMember(obj *Object, fld *types.Field) {
 	}
 	if arr, isArr := t.(*types.Array); isArr {
 		if ec := types.IsClass(arr.Elem); ec != nil {
-			for _, ecell := range cell.V.Arr {
-				m.constructObject(ecell.V.Obj, ec.CtorByArity(0), nil)
+			for _, ecell := range cell.V.Cells() {
+				m.ConstructObject(ecell.V.Obj, ec.CtorByArity(0), nil)
 			}
 		}
 		return
 	}
 	if mc := types.IsClass(t); mc != nil {
-		m.constructObject(cell.V.Obj, mc.CtorByArity(0), nil)
+		m.ConstructObject(cell.V.Obj, mc.CtorByArity(0), nil)
 	}
 }
 
 // destroyObject runs the destructor protocol on obj (dtor bodies of the
 // dynamic class and its bases, members in reverse order, virtual bases
 // last) and balances the ledger for counted objects.
-func (m *Machine) destroyObject(obj *Object) {
+func (m *Machine) DestroyObject(obj *Object) {
 	if obj == nil || obj.Destroyed {
 		return
 	}
@@ -470,7 +559,7 @@ func (m *Machine) destroyLevel(obj *Object, cls *types.Class, seen map[*types.Cl
 	}
 	seen[cls] = true
 	if d := cls.Dtor(); d != nil && d.Body != nil {
-		f := &frame{fn: d, vars: map[*types.Var]*Cell{}, this: obj}
+		f := &Frame{Fn: d, Vars: map[*types.Var]*Cell{}, This: obj}
 		m.execFuncBody(f, d)
 	}
 	for i := len(cls.Fields) - 1; i >= 0; i-- {
@@ -483,8 +572,9 @@ func (m *Machine) destroyLevel(obj *Object, cls *types.Class, seen map[*types.Cl
 		case cell.V.K == KObj && cell.V.Obj != nil:
 			m.destroyEmbedded(cell.V.Obj)
 		case cell.V.K == KArr:
-			for j := len(cell.V.Arr) - 1; j >= 0; j-- {
-				if ev := cell.V.Arr[j].V; ev.K == KObj && ev.Obj != nil {
+			dcells := cell.V.Cells()
+			for j := len(dcells) - 1; j >= 0; j-- {
+				if ev := dcells[j].V; ev.K == KObj && ev.Obj != nil {
 					m.destroyEmbedded(ev.Obj)
 				}
 			}
@@ -514,39 +604,63 @@ func (m *Machine) destroyEmbedded(obj *Object) {
 
 // callFunction invokes a free function or method. this is nil for free
 // functions.
-func (m *Machine) callFunction(fn *types.Func, this *Object, args []Value) Value {
+func (m *Machine) CallFunction(fn *types.Func, this *Object, args []Value) Value {
 	if fn.Body == nil {
-		m.fail(fn.Pos, "call to %s which has no body", fn.QualifiedName())
+		m.Fail(fn.Pos, "call to %s which has no body", fn.QualifiedName())
 	}
 	m.depth++
 	if m.depth > m.maxDepth {
-		m.fail(fn.Pos, "call depth limit exceeded (%d)", m.maxDepth)
+		m.Fail(fn.Pos, "call depth limit exceeded (%d)", m.maxDepth)
 	}
 	defer func() { m.depth-- }()
 
-	f := &frame{fn: fn, vars: map[*types.Var]*Cell{}, this: this}
+	// Vars stays nil here: the map is only needed by the tree-walker,
+	// and execFuncBody materializes it from Params when an Executor
+	// declines the body (or none is installed).
+	f := &Frame{Fn: fn, This: this}
+	if n := len(fn.Params); n > 0 {
+		f.Params = make([]*Cell, 0, n)
+	}
 	for i, p := range fn.Params {
 		var v Value
 		if i < len(args) {
-			v = m.convert(args[i], p.Type)
+			v = m.Convert(args[i], p.Type)
 		} else {
-			v = m.zeroValue(p.Type)
+			v = m.ZeroValue(p.Type)
 		}
 		if v.K == KObj && v.Obj != nil {
 			// By-value class parameter: bitwise copy (uncounted).
-			v = Value{K: KObj, Obj: m.cloneObject(v.Obj)}
+			v = Value{K: KObj, Obj: m.CloneObject(v.Obj)}
 		}
-		f.vars[p] = &Cell{V: v}
+		f.Params = append(f.Params, &Cell{V: v})
 	}
 	return m.execFuncBody(f, fn)
 }
 
-// execFuncBody executes fn's body in frame f, catching return.
-func (m *Machine) execFuncBody(f *frame, fn *types.Func) (ret Value) {
+// execFuncBody executes fn's body in Frame f, catching return. An
+// installed Executor gets first claim on the body; when it declines
+// (unsupported construct) the tree-walker runs it — per-function
+// fallback, identical semantics either way.
+func (m *Machine) execFuncBody(f *Frame, fn *types.Func) (ret Value) {
+	if m.opts.Executor != nil {
+		if v, handled := m.opts.Executor.ExecBody(m, f, fn); handled {
+			return v
+		}
+	}
+	if f.Vars == nil {
+		// Frame built without the name map (CallFunction's fast path);
+		// the tree-walker resolves variables through it, so build it now.
+		f.Vars = make(map[*types.Var]*Cell, len(fn.Params))
+		for i, p := range fn.Params {
+			if i < len(f.Params) {
+				f.Vars[p] = f.Params[i]
+			}
+		}
+	}
 	defer func() {
-		// Destroy counted local objects of the whole frame in reverse.
-		for i := len(f.locals) - 1; i >= 0; i-- {
-			m.destroyObject(f.locals[i])
+		// Destroy counted local objects of the whole Frame in reverse.
+		for i := len(f.Locals) - 1; i >= 0; i-- {
+			m.DestroyObject(f.Locals[i])
 		}
 		if r := recover(); r != nil {
 			if cr, ok := r.(ctrlReturn); ok {
@@ -561,20 +675,22 @@ func (m *Machine) execFuncBody(f *frame, fn *types.Func) (ret Value) {
 }
 
 // cloneObject produces an uncounted deep copy of src.
-func (m *Machine) cloneObject(src *Object) *Object {
-	dst := m.newObject(src.Class, false)
-	m.copyObject(dst, src)
+func (m *Machine) CloneObject(src *Object) *Object {
+	dst := m.NewObject(src.Class, false)
+	m.CopyObject(dst, src)
 	return dst
 }
 
-// copyObject copies the member values of src into dst (same class).
-func (m *Machine) copyObject(dst, src *Object) {
-	for fld, sc := range src.Fields {
-		dc, ok := dst.Fields[fld]
+// CopyObject copies the member values of src into dst (fields missing
+// from dst — e.g. when copying into a base-class subobject — are
+// skipped, as before the flat-cell layout).
+func (m *Machine) CopyObject(dst, src *Object) {
+	for i, fld := range src.Plan.Fields {
+		dc, ok := dst.Cell(fld)
 		if !ok {
 			continue
 		}
-		m.copyValueInto(dc, sc.V)
+		m.copyValueInto(dc, src.Cells[i].V)
 	}
 }
 
@@ -584,14 +700,15 @@ func (m *Machine) copyValueInto(cell *Cell, v Value) {
 	switch v.K {
 	case KObj:
 		if cell.V.K == KObj && cell.V.Obj != nil && v.Obj != nil {
-			m.copyObject(cell.V.Obj, v.Obj)
+			m.CopyObject(cell.V.Obj, v.Obj)
 			return
 		}
 		cell.V = v
 	case KArr:
-		if cell.V.K == KArr && len(cell.V.Arr) == len(v.Arr) {
-			for i, sc := range v.Arr {
-				m.copyValueInto(cell.V.Arr[i], sc.V)
+		dst, src := cell.V.Cells(), v.Cells()
+		if cell.V.K == KArr && len(dst) == len(src) {
+			for i, sc := range src {
+				m.copyValueInto(dst[i], sc.V)
 			}
 			return
 		}
@@ -602,6 +719,6 @@ func (m *Machine) copyValueInto(cell *Cell, v Value) {
 }
 
 // storeInto assigns v to cell with class-aware copying.
-func (m *Machine) storeInto(cell *Cell, v Value) {
+func (m *Machine) StoreInto(cell *Cell, v Value) {
 	m.copyValueInto(cell, v)
 }

@@ -5,34 +5,34 @@ import (
 	"deadmembers/internal/types"
 )
 
-// pushScope/popScope manage block-scoped class objects: objects declared
+// pushScope/PopScope manage block-scoped class objects: objects declared
 // in a block are destroyed, in reverse order, when the block exits —
-// normally or by break/continue/return unwinding.
-type scopeMark int
+// normally or by break/continue/return unwinding. A mark is a snapshot
+// of len(f.Locals); PopScope is exported for executors, which replicate
+// the same discipline with explicit scope instructions.
+func (f *Frame) pushScope() int { return len(f.Locals) }
 
-func (f *frame) pushScope() scopeMark { return scopeMark(len(f.locals)) }
-
-func (m *Machine) popScope(f *frame, mark scopeMark) {
-	for i := len(f.locals) - 1; i >= int(mark); i-- {
-		m.destroyObject(f.locals[i])
+func (m *Machine) PopScope(f *Frame, mark int) {
+	for i := len(f.Locals) - 1; i >= mark; i-- {
+		m.DestroyObject(f.Locals[i])
 	}
-	f.locals = f.locals[:mark]
+	f.Locals = f.Locals[:mark]
 }
 
 // execScoped runs s in its own destructor scope.
-func (m *Machine) execScoped(f *frame, s ast.Stmt) {
+func (m *Machine) execScoped(f *Frame, s ast.Stmt) {
 	mark := f.pushScope()
-	defer m.popScope(f, mark)
+	defer m.PopScope(f, mark)
 	m.execStmt(f, s)
 }
 
 // execStmt executes one statement.
-func (m *Machine) execStmt(f *frame, s ast.Stmt) {
-	m.step(s.Pos())
+func (m *Machine) execStmt(f *Frame, s ast.Stmt) {
+	m.Step(f, s.Pos())
 	switch x := s.(type) {
 	case *ast.BlockStmt:
 		mark := f.pushScope()
-		defer m.popScope(f, mark)
+		defer m.PopScope(f, mark)
 		for _, st := range x.Stmts {
 			m.execStmt(f, st)
 		}
@@ -69,7 +69,7 @@ func (m *Machine) execStmt(f *frame, s ast.Stmt) {
 
 	case *ast.ForStmt:
 		mark := f.pushScope()
-		defer m.popScope(f, mark)
+		defer m.PopScope(f, mark)
 		if x.Init != nil {
 			m.execStmt(f, x.Init)
 		}
@@ -89,11 +89,11 @@ func (m *Machine) execStmt(f *frame, s ast.Stmt) {
 		var v Value
 		if x.X != nil {
 			v = m.evalExpr(f, x.X)
-			if f.fn != nil && f.fn.Return != nil {
-				v = m.convert(v, f.fn.Return)
+			if f.Fn != nil && f.Fn.Return != nil {
+				v = m.Convert(v, f.Fn.Return)
 			}
 			if v.K == KObj && v.Obj != nil {
-				v = Value{K: KObj, Obj: m.cloneObject(v.Obj)} // return by value
+				v = Value{K: KObj, Obj: m.CloneObject(v.Obj)} // return by value
 			}
 		} else {
 			v = Value{K: KVoid}
@@ -110,7 +110,7 @@ func (m *Machine) execStmt(f *frame, s ast.Stmt) {
 
 // execLoopBody runs one iteration; reports true when the loop must stop
 // (break). continue is absorbed.
-func (m *Machine) execLoopBody(f *frame, body ast.Stmt) (stop bool) {
+func (m *Machine) execLoopBody(f *Frame, body ast.Stmt) (stop bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			switch r.(type) {
@@ -129,7 +129,7 @@ func (m *Machine) execLoopBody(f *frame, body ast.Stmt) (stop bool) {
 
 // execSwitch evaluates the scrutinee and runs the matching case group (or
 // default). MC++ cases do not fall through; break exits the switch.
-func (m *Machine) execSwitch(f *frame, x *ast.SwitchStmt) {
+func (m *Machine) execSwitch(f *Frame, x *ast.SwitchStmt) {
 	v := m.evalExpr(f, x.X).AsInt()
 	var target *ast.SwitchCase
 	var deflt *ast.SwitchCase
@@ -164,49 +164,49 @@ func (m *Machine) execSwitch(f *frame, x *ast.SwitchStmt) {
 		}
 	}()
 	mark := f.pushScope()
-	defer m.popScope(f, mark)
+	defer m.PopScope(f, mark)
 	for _, st := range target.Body {
 		m.execStmt(f, st)
 	}
 }
 
 // execDecl executes a local variable declaration.
-func (m *Machine) execDecl(f *frame, d *ast.VarDecl) {
+func (m *Machine) execDecl(f *Frame, d *ast.VarDecl) {
 	v := m.info.VarObjects[d]
 	t := m.info.VarTypes[d]
 	cell := &Cell{}
-	f.vars[v] = cell
+	f.Vars[v] = cell
 
 	if cls := types.IsClass(t); cls != nil {
 		if d.Init != nil {
 			src := m.evalExpr(f, d.Init)
-			obj := m.newObject(cls, true)
+			obj := m.NewObject(cls, true)
 			if src.K == KObj && src.Obj != nil {
-				m.copyObject(obj, src.Obj)
+				m.CopyObject(obj, src.Obj)
 			}
 			cell.V = Value{K: KObj, Obj: obj}
-			f.locals = append(f.locals, obj)
+			f.Locals = append(f.Locals, obj)
 			return
 		}
-		obj := m.newObject(cls, true)
+		obj := m.NewObject(cls, true)
 		var args []Value
 		for _, a := range d.CtorArgs {
 			args = append(args, m.evalExpr(f, a))
 		}
-		m.constructObject(obj, m.info.VarCtors[d], args)
+		m.ConstructObject(obj, m.info.VarCtors[d], args)
 		cell.V = Value{K: KObj, Obj: obj}
-		f.locals = append(f.locals, obj)
+		f.Locals = append(f.Locals, obj)
 		return
 	}
 
 	if arr, ok := t.(*types.Array); ok {
 		var objs []*Object
-		cell.V = m.makeArray(arr, &objs)
-		f.locals = append(f.locals, objs...)
+		cell.V = m.MakeArray(arr, &objs)
+		f.Locals = append(f.Locals, objs...)
 		return
 	}
 
-	cell.V = m.zeroValue(t)
+	cell.V = m.ZeroValue(t)
 	var init ast.Expr
 	if d.Init != nil {
 		init = d.Init
@@ -214,6 +214,6 @@ func (m *Machine) execDecl(f *frame, d *ast.VarDecl) {
 		init = d.CtorArgs[0]
 	}
 	if init != nil {
-		m.storeInto(cell, m.convert(m.evalExpr(f, init), t))
+		m.StoreInto(cell, m.Convert(m.evalExpr(f, init), t))
 	}
 }

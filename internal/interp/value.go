@@ -44,6 +44,10 @@ type Cell struct {
 // Pointer is the runtime representation of a pointer value. Exactly one
 // shape is active: a single cell, a class object, or a position within an
 // array of cells. The zero Pointer is the null pointer.
+//
+// Values reference their Pointer payload by pointer (see Value), so a
+// Pointer reached through a Value must be treated as immutable: copy it
+// (`p := *v.P`) before deriving a new pointer from it.
 type Pointer struct {
 	Cell *Cell
 	Obj  *Object
@@ -56,10 +60,14 @@ type Pointer struct {
 	Block *HeapBlock
 }
 
-// IsNull reports whether the pointer is null.
-func (p Pointer) IsNull() bool {
-	return p.Cell == nil && p.Obj == nil && !p.arrp
+// IsNull reports whether the pointer is null. A nil *Pointer counts as
+// null so a zero Value with K forced to KPtr stays well-behaved.
+func (p *Pointer) IsNull() bool {
+	return p == nil || (p.Cell == nil && p.Obj == nil && !p.arrp)
 }
+
+// nullPtr is the shared payload of every null pointer value.
+var nullPtr = &Pointer{}
 
 // HeapBlock describes one heap allocation (new, new[], or malloc).
 type HeapBlock struct {
@@ -71,24 +79,42 @@ type HeapBlock struct {
 	Array bool // allocated with new[] (or malloc)
 }
 
-// Value is a tagged-union runtime value.
+// Value is a tagged-union runtime value. The pointer and array payloads
+// are boxed so the struct stays small enough (56 bytes) for the compiler
+// to move it in registers instead of calling duffcopy — Value copies
+// dominate the VM dispatch loop, so the layout is performance-sensitive.
 type Value struct {
 	K   Kind
-	I   int64   // KInt, KChar, KBool
-	F   float64 // KDouble
-	P   Pointer // KPtr
+	I   int64    // KInt, KChar, KBool
+	F   float64  // KDouble
+	P   *Pointer // KPtr (shared, immutable; see Pointer)
 	MP  *types.Field
-	Obj *Object // KObj (class values live in cells as objects)
-	Arr []*Cell // KArr (array values)
+	Obj *Object  // KObj (class values live in cells as objects)
+	Arr *[]*Cell // KArr (array values; read via Cells)
 }
+
+// Cells returns the elements of a KArr value (nil for other kinds).
+func (v Value) Cells() []*Cell {
+	if v.Arr == nil {
+		return nil
+	}
+	return *v.Arr
+}
+
+// NullValue returns the null pointer value (the vm package's NullLit
+// constant; interp-internal code uses nullV).
+func NullValue() Value { return nullV() }
 
 // Convenience constructors.
 func intV(v int64) Value      { return Value{K: KInt, I: v} }
 func charV(v byte) Value      { return Value{K: KChar, I: int64(v)} }
 func boolV(v bool) Value      { return Value{K: KBool, I: b2i(v)} }
 func doubleV(v float64) Value { return Value{K: KDouble, F: v} }
-func ptrV(p Pointer) Value    { return Value{K: KPtr, P: p} }
-func nullV() Value            { return Value{K: KPtr} }
+func ptrV(p Pointer) Value    { return Value{K: KPtr, P: &p} }
+func nullV() Value            { return Value{K: KPtr, P: nullPtr} }
+func arrV(cells []*Cell) Value {
+	return Value{K: KArr, Arr: &cells}
+}
 func memberPtrV(f *types.Field) Value {
 	return Value{K: KMemberPtr, MP: f}
 }
@@ -172,11 +198,24 @@ func formatDouble(f float64) string {
 	return fmt.Sprintf("%g", f)
 }
 
+// FieldPlan is the per-class storage layout shared by every instance:
+// the distinct data members in a deterministic order (own fields first,
+// then bases depth-first, with members shared through virtual bases
+// appearing once) and the inverse index. Instances store their cells in
+// a flat slice in plan order, which is what makes the VM's monomorphic
+// inline caches possible: a (class, field) pair resolves to a fixed slot
+// number.
+type FieldPlan struct {
+	Fields []*types.Field
+	Index  map[*types.Field]int
+}
+
 // Object is a class instance with one cell per distinct data member
 // (members shared through virtual bases occupy a single cell).
 type Object struct {
-	Class  *types.Class
-	Fields map[*types.Field]*Cell
+	Class *types.Class
+	Plan  *FieldPlan
+	Cells []*Cell // one per Plan.Fields entry, same order
 
 	// Size/DeadBytes/AdjSize cache the ledger accounting recorded at
 	// allocation so destruction balances exactly.
@@ -190,6 +229,9 @@ type Object struct {
 // Cell returns the storage cell of field f, which must exist in the
 // object (a failed lookup indicates an invalid downcast).
 func (o *Object) Cell(f *types.Field) (*Cell, bool) {
-	c, ok := o.Fields[f]
-	return c, ok
+	i, ok := o.Plan.Index[f]
+	if !ok {
+		return nil, false
+	}
+	return o.Cells[i], true
 }

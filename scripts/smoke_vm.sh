@@ -1,0 +1,66 @@
+#!/bin/sh
+# smoke_vm.sh — end-to-end proof of the execution-engine contract: every
+# example program runs under the tree-walking interpreter and the
+# bytecode VM, plain and with -profile, and the outputs (stdout, stderr,
+# exit code) must be byte-identical. A parallel profiled run checks the
+# engines stay identical at -parallel too. Finally the paperbench
+# -engines exhibit must render with no degraded (diverged) rows.
+set -eu
+
+GO=${GO:-go}
+BIN=${BIN:-bin}
+
+$GO build -o "$BIN/mccrun" ./cmd/mccrun
+$GO build -o "$BIN/paperbench" ./cmd/paperbench
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+# run FILE OUT ENGINE [extra flags...]: capture stdout+stderr and the
+# exit code (examples may legitimately exit nonzero; only a divergence
+# between engines is a failure).
+run() {
+    file=$1; out=$2; eng=$3; shift 3
+    code=0
+    "$BIN/mccrun" -engine "$eng" "$@" "$file" >"$out" 2>"$out.err" || code=$?
+    echo "exit=$code" >>"$out"
+    cat "$out.err" >>"$out"
+}
+
+for f in examples/mcc/*.mcc; do
+    name=$(basename "$f" .mcc)
+    run "$f" "$tmp/$name.tree" tree
+    run "$f" "$tmp/$name.vm" vm
+    if ! cmp -s "$tmp/$name.tree" "$tmp/$name.vm"; then
+        echo "smoke-vm: $name: plain run diverges between engines:" >&2
+        diff "$tmp/$name.tree" "$tmp/$name.vm" >&2 || true
+        exit 1
+    fi
+    run "$f" "$tmp/$name.ptree" tree -profile
+    run "$f" "$tmp/$name.pvm" vm -profile
+    if ! cmp -s "$tmp/$name.ptree" "$tmp/$name.pvm"; then
+        echo "smoke-vm: $name: profiled run diverges between engines:" >&2
+        diff "$tmp/$name.ptree" "$tmp/$name.pvm" >&2 || true
+        exit 1
+    fi
+    run "$f" "$tmp/$name.pvm4" vm -profile -parallel 4
+    if ! cmp -s "$tmp/$name.ptree" "$tmp/$name.pvm4"; then
+        echo "smoke-vm: $name: -parallel 4 VM profile diverges:" >&2
+        diff "$tmp/$name.ptree" "$tmp/$name.pvm4" >&2 || true
+        exit 1
+    fi
+done
+
+# The engines exhibit re-runs the paper corpus under both engines and
+# degrades any row where they disagree; exit 1 would mean divergence.
+"$BIN/paperbench" -engines >"$tmp/engines.out"
+grep -q 'Engine comparison' "$tmp/engines.out"
+grep -q '^total' "$tmp/engines.out"
+if grep -q 'degraded' "$tmp/engines.out"; then
+    echo "smoke-vm: degraded engine rows:" >&2
+    cat "$tmp/engines.out" >&2
+    exit 1
+fi
+
+n=$(ls examples/mcc/*.mcc | wc -l | tr -d ' ')
+echo "smoke-vm: OK ($n example(s) byte-identical across engines, plain/profiled/parallel; engines exhibit clean)"
